@@ -1,0 +1,59 @@
+// Ablation: bypass links (Section 5.4) on vs off.
+//
+// Bypass links form on cross-s-network stores/lookups and shortcut later
+// operations past the t-network.  Measured here: peers contacted per lookup
+// and t-network query traffic, on a workload with repeated cross-network
+// fetches (each key looked up twice so the second pass can use the links
+// the first pass installed).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "stats/table.hpp"
+
+using namespace hp2p;
+
+int main() {
+  auto scale = bench::scale_from_env();
+  // Repeating lookups is the whole point here.
+  scale.lookups = std::max<std::size_t>(scale.lookups, 2 * scale.items);
+  bench::print_header(
+      "Ablation -- bypass links on/off",
+      "bypass links divert repeat cross-network traffic off the t-network "
+      "(Section 5.4)",
+      scale);
+
+  stats::Table table{{"bypass", "latency_ms", "contacted_per_lookup",
+                      "query_msgs", "bypass_uses", "failure"}};
+  for (bool enabled : {false, true}) {
+    auto cfg = bench::base_config(scale, 0);
+    cfg.hybrid.ps = 0.8;
+    cfg.hybrid.ttl = 6;
+    cfg.hybrid.bypass_links = enabled;
+    // Bypass links are per-peer caches: they pay off when the same peers
+    // keep fetching the same popular content from the same remote
+    // s-networks, so use a small fixed origin pool and strongly Zipf-skewed
+    // targets (each peer holds at most delta bypass links, so only the
+    // hottest few segments can be cached).
+    cfg.num_items = std::min<std::size_t>(cfg.num_items, 500);
+    cfg.lookup_origin_pool = 8;
+    cfg.zipf_exponent = 1.3;
+    // Short lifetime: cold links expire and free budget for the hot
+    // segments (use refreshes a link's timer, so hot links persist).
+    cfg.hybrid.bypass_lifetime = sim::SimTime::seconds(5);
+    // Pace the lookups: a link installs only when its first fetch
+    // completes, so back-to-back repeats of a hot item would all miss it.
+    cfg.op_spacing = sim::SimTime::millis(50);
+    const auto r = exp::run_hybrid_experiment(cfg);
+    table.row()
+        .cell(enabled ? "on" : "off")
+        .cell(r.lookup_latency_ms.mean(), 1)
+        .cell(static_cast<double>(r.connum()) /
+                  static_cast<double>(r.lookups.issued),
+              2)
+        .cell(r.network.class_messages(proto::TrafficClass::kQuery))
+        .cell(r.bypass_uses)
+        .cell(r.lookups.failure_ratio(), 4);
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Ablation: t-network routing mode -- plain ring forwarding vs finger
+// tables (Section 4.1 analyzes both: ~N_t/2 hops vs ~log N_t hops).
+//
+// The paper's Table 2 magnitudes match ring forwarding; finger routing
+// slashes connum and latency for small p_s, where the ring walk dominates
+// every cross-network lookup.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "stats/table.hpp"
+
+using namespace hp2p;
+
+int main() {
+  auto scale = bench::scale_from_env();
+  bench::print_header(
+      "Ablation -- t-network routing: ring vs finger tables",
+      "ring walk ~ N_t/2 hops; fingers ~ log2 N_t; gap collapses as p_s "
+      "shrinks the ring",
+      scale);
+
+  stats::Table table{{"p_s", "ring_hops", "finger_hops", "ring_connum",
+                      "finger_connum"}};
+  for (double ps : {0.0, 0.3, 0.6, 0.9}) {
+    auto run = [&](hybrid::TRouting routing) {
+      auto cfg = bench::base_config(scale, 0);
+      cfg.hybrid.ps = ps;
+      cfg.hybrid.ttl = 6;
+      cfg.hybrid.t_routing = routing;
+      return exp::run_hybrid_experiment(cfg);
+    };
+    const auto ring = run(hybrid::TRouting::kRing);
+    const auto finger = run(hybrid::TRouting::kFinger);
+    table.row()
+        .cell(ps, 1)
+        .cell(ring.lookup_hops.mean(), 1)
+        .cell(finger.lookup_hops.mean(), 1)
+        .cell(ring.connum())
+        .cell(finger.connum());
+  }
+  table.print(std::cout);
+  return 0;
+}

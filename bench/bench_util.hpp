@@ -1,0 +1,69 @@
+// Shared helpers for the figure/table bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/env.hpp"
+#include "exp/harness.hpp"
+
+namespace hp2p::bench {
+
+/// Experiment scale, overridable from the environment so the same binaries
+/// serve both a quick smoke pass and a paper-scale run:
+///   HP2P_PEERS=1000 HP2P_ITEMS=5000 HP2P_LOOKUPS=5000 HP2P_REPLICAS=3
+struct Scale {
+  std::uint32_t peers;
+  std::size_t items;
+  std::size_t lookups;
+  std::size_t replicas;
+  std::uint64_t seed;
+};
+
+[[nodiscard]] inline Scale scale_from_env() {
+  Scale s{};
+  s.peers = static_cast<std::uint32_t>(env_or("HP2P_PEERS", std::int64_t{400}));
+  s.items = static_cast<std::size_t>(env_or("HP2P_ITEMS", std::int64_t{1000}));
+  s.lookups = static_cast<std::size_t>(env_or("HP2P_LOOKUPS", std::int64_t{1000}));
+  s.replicas = static_cast<std::size_t>(env_or("HP2P_REPLICAS", std::int64_t{1}));
+  s.seed = static_cast<std::uint64_t>(env_or("HP2P_SEED", std::int64_t{42}));
+  return s;
+}
+
+[[nodiscard]] inline exp::RunConfig base_config(const Scale& s,
+                                                std::size_t replica = 0) {
+  exp::RunConfig c;
+  c.seed = s.seed + replica * 1000003;
+  c.num_peers = s.peers;
+  c.num_items = s.items;
+  c.num_lookups = s.lookups;
+  c.hybrid.delta = 3;  // as in the paper's simulations
+  return c;
+}
+
+inline void print_header(const char* figure, const char* claim,
+                         const Scale& s) {
+  std::printf("==============================================================="
+              "=================\n");
+  std::printf("%s\n", figure);
+  std::printf("paper claim: %s\n", claim);
+  std::printf("scale: %u peers, %zu items, %zu lookups, %zu replica(s), "
+              "seed %llu\n",
+              s.peers, s.items, s.lookups, s.replicas,
+              static_cast<unsigned long long>(s.seed));
+  std::printf("==============================================================="
+              "=================\n");
+}
+
+/// Mean of a metric across replicas of the same configuration.
+template <typename Fn>
+[[nodiscard]] double replicate_mean(const Scale& s, Fn make_and_measure) {
+  double total = 0;
+  for (std::size_t r = 0; r < s.replicas; ++r) {
+    total += make_and_measure(r);
+  }
+  return total / static_cast<double>(s.replicas);
+}
+
+}  // namespace hp2p::bench

@@ -1,0 +1,37 @@
+// Fig. 5a: lookup failure ratio vs p_s for TTL in {1, 2, 4}.
+//
+// Paper shape: ~0 failures while p_s < 0.5 (s-networks average < 1 peer),
+// then an exponential-looking rise with p_s; raising the TTL pushes the
+// curve down sharply (18% -> 4% at p_s = 0.9 going TTL 1 -> 4).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "stats/table.hpp"
+
+using namespace hp2p;
+
+int main() {
+  auto scale = bench::scale_from_env();
+  bench::print_header(
+      "Fig. 5a -- lookup failure ratio vs p_s, per TTL",
+      "zero below p_s=0.5; grows with p_s; larger TTL cuts failures "
+      "dramatically",
+      scale);
+
+  const unsigned ttls[] = {1, 2, 4};
+  stats::Table table{{"p_s", "TTL=1", "TTL=2", "TTL=4"}};
+  for (double ps = 0.0; ps <= 0.901; ps += 0.1) {
+    table.row().cell(ps, 1);
+    for (unsigned ttl : ttls) {
+      const double ratio = bench::replicate_mean(scale, [&](std::size_t r) {
+        auto cfg = bench::base_config(scale, r);
+        cfg.hybrid.ps = ps;
+        cfg.hybrid.ttl = ttl;
+        return exp::run_hybrid_experiment(cfg).lookups.failure_ratio();
+      });
+      table.cell(ratio, 4);
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

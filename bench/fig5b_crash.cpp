@@ -1,0 +1,42 @@
+// Fig. 5b: lookup failure ratio when a fraction of peers crash (no load
+// transfer) before the lookups, for several p_s values.
+//
+// Paper shape: failure ratio grows linearly with the crashed fraction, and
+// is essentially independent of p_s (the improved placement scheme spreads
+// data evenly, so each crashed peer takes a proportional bite).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "stats/table.hpp"
+
+using namespace hp2p;
+
+int main() {
+  auto scale = bench::scale_from_env();
+  bench::print_header(
+      "Fig. 5b -- lookup failure ratio vs fraction of crashed peers",
+      "linear in the crash fraction; level is insensitive to p_s "
+      "(scheme-2 placement spreads the loss)",
+      scale);
+
+  const double ps_values[] = {0.4, 0.7, 0.9};
+  stats::Table table{{"crashed", "p_s=0.4", "p_s=0.7", "p_s=0.9"}};
+  for (double crashed = 0.0; crashed <= 0.501; crashed += 0.1) {
+    table.row().cell(crashed, 1);
+    for (double ps : ps_values) {
+      const double ratio = bench::replicate_mean(scale, [&](std::size_t r) {
+        auto cfg = bench::base_config(scale, r);
+        cfg.hybrid.ps = ps;
+        cfg.hybrid.ttl = 6;
+        cfg.crash_fraction = crashed;
+        cfg.recovery_time = sim::SimTime::seconds(25);
+        cfg.hybrid.hello_interval = sim::SimTime::millis(1000);
+        cfg.hybrid.hello_timeout = sim::SimTime::millis(3000);
+        return exp::run_hybrid_experiment(cfg).lookups.failure_ratio();
+      });
+      table.cell(ratio, 4);
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

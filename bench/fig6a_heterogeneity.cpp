@@ -1,0 +1,68 @@
+// Fig. 6a: average lookup latency vs p_s, with and without link
+// heterogeneity support (Section 5.1).
+//
+// Both series run over the same heterogeneous access links (1/3 slow, 1/3
+// medium, 1/3 fast; 10x spread) with per-hop transmission delays modeled.
+// "With" assigns t-peer roles to the fastest hosts and lets fast connect
+// points take more children.  Paper shape: latency falls with p_s; the
+// heterogeneity-aware variant sits below the basic one, most visibly for
+// p_s in 0.4..0.8 (~20% at p_s = 0.7).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "stats/table.hpp"
+
+using namespace hp2p;
+
+int main() {
+  auto scale = bench::scale_from_env();
+  bench::print_header(
+      "Fig. 6a -- average lookup latency vs p_s, link heterogeneity on/off",
+      "latency decreases with p_s; capacity-aware roles cut ~20% around "
+      "p_s=0.7",
+      scale);
+
+  stats::Table table{
+      {"p_s", "basic_ms", "heterogeneity_aware_ms", "improvement"}};
+  for (double ps = 0.0; ps <= 0.901; ps += 0.1) {
+    auto measure = [&](bool aware) {
+      return bench::replicate_mean(scale, [&](std::size_t r) {
+        auto cfg = bench::base_config(scale, r);
+        cfg.hybrid.ps = ps;
+        cfg.hybrid.ttl = 6;
+        cfg.model_transmission_delay = true;
+        cfg.capacity_sorted_roles = aware;
+        cfg.hybrid.link_usage_connect = aware;
+        return exp::run_hybrid_experiment(cfg).lookup_latency_ms.mean();
+      });
+    };
+    const double basic = measure(false);
+    const double aware = measure(true);
+    table.row().cell(ps, 1).cell(basic, 1).cell(aware, 1).cell(
+        basic > 0 ? (basic - aware) / basic : 0.0, 3);
+  }
+  table.print(std::cout);
+
+  // The imbalance that motivates the whole Section: t-peers carry far more
+  // traffic than s-peers, so fast hosts belong on the t-network.
+  std::printf("\nper-role traffic (messages handled per peer, basic "
+              "config):\n");
+  stats::Table load{{"p_s", "t-peer_traffic", "s-peer_traffic", "ratio"}};
+  for (double ps : {0.3, 0.6, 0.9}) {
+    auto cfg = bench::base_config(scale, 0);
+    cfg.hybrid.ps = ps;
+    cfg.hybrid.ttl = 6;
+    cfg.model_transmission_delay = true;
+    const auto r = exp::run_hybrid_experiment(cfg);
+    load.row()
+        .cell(ps, 1)
+        .cell(r.mean_tpeer_traffic, 0)
+        .cell(r.mean_speer_traffic, 0)
+        .cell(r.mean_speer_traffic > 0
+                  ? r.mean_tpeer_traffic / r.mean_speer_traffic
+                  : 0.0,
+              1);
+  }
+  load.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Fig. 6b: average lookup latency vs p_s, basic vs topology-aware
+// s-network assignment with 8 and 12 landmarks (Section 5.2).
+//
+// Paper shape: identical at p_s = 0 (no s-networks to cluster); the
+// topology-aware curves fall faster as p_s grows; more landmarks help; the
+// three curves converge again by p_s ~ 0.9 (many tiny s-networks are
+// near-local anyway).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "stats/table.hpp"
+
+using namespace hp2p;
+
+int main() {
+  auto scale = bench::scale_from_env();
+  bench::print_header(
+      "Fig. 6b -- average lookup latency vs p_s, topology awareness",
+      "aware < basic for mid p_s; more landmarks -> lower latency; curves "
+      "merge near p_s=0.9",
+      scale);
+
+  stats::Table table{{"p_s", "basic_ms", "aware_8lm_ms", "aware_12lm_ms"}};
+  for (double ps = 0.0; ps <= 0.901; ps += 0.1) {
+    auto measure = [&](bool aware, unsigned landmarks) {
+      return bench::replicate_mean(scale, [&](std::size_t r) {
+        auto cfg = bench::base_config(scale, r);
+        cfg.hybrid.ps = ps;
+        cfg.hybrid.ttl = 6;
+        // Finger routing on the t-network: clustering improves the
+        // *intra-s-network* hops (cp chain, flood), which a ~N_t/2-hop
+        // ring walk would completely drown out.
+        cfg.hybrid.t_routing = hybrid::TRouting::kFinger;
+        cfg.hybrid.topology_aware = aware;
+        cfg.hybrid.num_landmarks = landmarks;
+        return exp::run_hybrid_experiment(cfg).lookup_latency_ms.mean();
+      });
+    };
+    table.row()
+        .cell(ps, 1)
+        .cell(measure(false, 0), 1)
+        .cell(measure(true, 8), 1)
+        .cell(measure(true, 12), 1);
+  }
+  table.print(std::cout);
+  return 0;
+}

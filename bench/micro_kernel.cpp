@@ -1,0 +1,123 @@
+// Microbenchmarks for the kernel-level building blocks: event queue, RNG,
+// hashing, finger-table scans, Dijkstra/underlay construction, and
+// histogram updates.  google-benchmark binary.
+#include <benchmark/benchmark.h>
+
+#include "chord/finger_table.hpp"
+#include "common/hashing.hpp"
+#include "common/rng.hpp"
+#include "net/transit_stub.hpp"
+#include "net/underlay.hpp"
+#include "sim/simulator.hpp"
+#include "stats/histogram.hpp"
+
+namespace {
+
+using namespace hp2p;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<std::int64_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::uint64_t sink = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      sim.schedule_at(sim::SimTime::micros((i * 7919) % 100000),
+                      [&sink] { ++sink; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(10000);
+
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  // The HELLO/ack machinery cancels timers constantly; measure the lazy-
+  // cancellation path.
+  const auto n = static_cast<std::int64_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::vector<sim::TimerId> ids;
+    ids.reserve(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+      ids.push_back(sim.schedule_at(sim::SimTime::micros(i), [] {}));
+    }
+    for (std::size_t i = 0; i < ids.size(); i += 2) sim.cancel(ids[i]);
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueCancelHeavy)->Arg(10000);
+
+void BM_RngUniform(benchmark::State& state) {
+  Rng rng{1};
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sink ^= rng.uniform(0, 999983);
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_HashKey(benchmark::State& state) {
+  std::uint64_t sink = 0;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    sink ^= hash_key("item-" + std::to_string(i++)).value();
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_HashKey);
+
+void BM_FingerClosestPreceding(benchmark::State& state) {
+  chord::FingerTable fingers;
+  fingers.init(PeerId{12345});
+  Rng rng{2};
+  for (unsigned k = 0; k < chord::FingerTable::size(); ++k) {
+    fingers.set(k, PeerIndex{k}, PeerId{rng.uniform(0, kRingSize - 1)});
+  }
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sink ^= fingers.closest_preceding(rng.uniform(0, kRingSize - 1))
+                .node_id.value();
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_FingerClosestPreceding);
+
+void BM_TransitStubGenerate(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto params = net::TransitStubParams::for_total_nodes(n);
+  for (auto _ : state) {
+    Rng rng{3};
+    auto topo = net::generate_transit_stub(params, rng);
+    benchmark::DoNotOptimize(topo.graph.num_edges());
+  }
+}
+BENCHMARK(BM_TransitStubGenerate)->Arg(200)->Arg(1000);
+
+void BM_UnderlayApsp(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto params = net::TransitStubParams::for_total_nodes(n);
+  for (auto _ : state) {
+    Rng rng{4};
+    net::Underlay underlay{net::generate_transit_stub(params, rng), rng};
+    benchmark::DoNotOptimize(
+        underlay.latency(HostIndex{0}, HostIndex{n - 1}));
+  }
+}
+BENCHMARK(BM_UnderlayApsp)->Arg(200)->Arg(500);
+
+void BM_HistogramAdd(benchmark::State& state) {
+  stats::Histogram hist{0.0, 1000.0, 64};
+  Rng rng{5};
+  for (auto _ : state) {
+    hist.add(rng.uniform01() * 1200.0 - 100.0);
+  }
+  benchmark::DoNotOptimize(hist.total());
+}
+BENCHMARK(BM_HistogramAdd);
+
+}  // namespace
+
+BENCHMARK_MAIN();

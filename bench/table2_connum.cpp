@@ -1,0 +1,41 @@
+// Table 2: total connum (number of peers contacted by all data lookups)
+// under different TTL values as p_s sweeps 0 -> 0.9.
+//
+// Paper shape: connum decays roughly linearly with p_s (at p_s = 0.9 it is
+// ~10% of the structured baseline), and the TTL only matters once
+// p_s > 0.5, where a bigger flood radius touches slightly more peers.
+// The paper's absolute magnitudes (4.88M at p_s = 0) correspond to ring
+// routing on the t-network, which is this bench's default mode.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "stats/table.hpp"
+
+using namespace hp2p;
+
+int main() {
+  auto scale = bench::scale_from_env();
+  bench::print_header(
+      "Table 2 -- total connum vs p_s, per TTL",
+      "linear decay in p_s; TTL-insensitive below p_s=0.5, mildly "
+      "TTL-sensitive above",
+      scale);
+
+  const unsigned ttls[] = {1, 2, 4};
+  stats::Table table{{"p_s", "TTL=1", "TTL=2", "TTL=4"}};
+  for (double ps = 0.0; ps <= 0.901; ps += 0.1) {
+    table.row().cell(ps, 1);
+    for (unsigned ttl : ttls) {
+      const double connum = bench::replicate_mean(scale, [&](std::size_t r) {
+        auto cfg = bench::base_config(scale, r);
+        cfg.hybrid.ps = ps;
+        cfg.hybrid.ttl = ttl;
+        return static_cast<double>(exp::run_hybrid_experiment(cfg).connum());
+      });
+      table.cell(static_cast<std::uint64_t>(connum));
+    }
+  }
+  table.print(std::cout);
+  table.print_csv(std::cout);
+  return 0;
+}

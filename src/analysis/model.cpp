@@ -1,0 +1,92 @@
+#include "analysis/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hp2p::analysis {
+namespace {
+
+/// log2 clamped at zero: hop counts cannot be negative; the paper's curves
+/// implicitly clamp the same way (latency 0 at the degenerate ends).
+double log2_pos(double x) { return x > 1.0 ? std::log2(x) : 0.0; }
+
+double log_delta_pos(double x, double delta) {
+  if (x <= 1.0 || delta <= 1.0) return 0.0;
+  return std::log2(x) / std::log2(delta);
+}
+
+}  // namespace
+
+double snetwork_size(const ModelParams& p) {
+  if (p.ps >= 1.0) return p.n;  // one big unstructured network
+  return p.ps / (1.0 - p.ps);
+}
+
+double local_hit_probability(const ModelParams& p) {
+  if (p.ps >= 1.0) return 1.0;
+  return std::min(1.0, p.ps / (p.n * (1.0 - p.ps)));
+}
+
+double tpeer_join_hops(const ModelParams& p) {
+  return log2_pos((1.0 - p.ps) * p.n / 2.0);
+}
+
+double speer_join_hops(const ModelParams& p) {
+  return log_delta_pos(snetwork_size(p), p.delta);
+}
+
+double average_join_hops(const ModelParams& p) {
+  // Eq. (1).
+  return (1.0 - p.ps) * tpeer_join_hops(p) + p.ps * speer_join_hops(p);
+}
+
+double peers_out_of_flood_range(const ModelParams& p) {
+  // Eq. (2): s/(1-s) minus the approximated covered count.
+  const double size = snetwork_size(p);
+  const double d = p.delta;
+  if (d <= 1.0) return std::max(0.0, size - (p.ttl + 1.0));
+  const double covered =
+      (std::pow(d, p.ttl + 1.0) * (d - 1.0) + std::pow(d, 2.0 + p.ttl / 2.0) -
+       (d - 1.0) * p.ttl / 2.0) /
+      (2.0 * (d - 1.0) * (d - 1.0));
+  return std::max(0.0, size - covered);
+}
+
+double lookup_failure_ratio(const ModelParams& p) {
+  const double size = snetwork_size(p);
+  if (size <= 0.0) return 0.0;
+  return std::clamp(peers_out_of_flood_range(p) / size, 0.0, 1.0);
+}
+
+double lookup_hops_unconstrained(const ModelParams& p) {
+  const double local = local_hit_probability(p);
+  const double ring = log2_pos((1.0 - p.ps) * p.n / 2.0);
+  return local * 2.0 + (1.0 - local) * (2.0 + ring);
+}
+
+double lookup_hops_constrained(const ModelParams& p) {
+  const double local = local_hit_probability(p);
+  const double ring = log2_pos((1.0 - p.ps) * p.n / 2.0);
+  const double climb =
+      std::max(0.0, 0.5 * log_delta_pos(snetwork_size(p), p.delta));
+  return local * p.ttl + (1.0 - local) * (climb + p.ttl + ring);
+}
+
+double optimal_ps_for_join(double n, double delta) {
+  double best_ps = 0.0;
+  double best = 1e300;
+  for (double ps = 0.0; ps <= 1.0001; ps += 0.01) {
+    ModelParams p;
+    p.n = n;
+    p.ps = std::min(ps, 0.999);  // avoid the ps=1 singularity of Eq. (1)
+    p.delta = delta;
+    const double hops = average_join_hops(p);
+    if (hops < best) {
+      best = hops;
+      best_ps = p.ps;
+    }
+  }
+  return best_ps;
+}
+
+}  // namespace hp2p::analysis

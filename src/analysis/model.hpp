@@ -1,0 +1,57 @@
+// Closed-form performance models from Section 4 of the paper.
+//
+// All quantities are expressed in overlay hops, exactly as the paper's
+// analysis does; the benches print these next to the simulated series so
+// EXPERIMENTS.md can compare theory and simulation directly (Fig. 3).
+#pragma once
+
+namespace hp2p::analysis {
+
+/// Model inputs; defaults match the paper's simulation setup (N = 1000).
+struct ModelParams {
+  double n = 1000;    // total peers
+  double ps = 0.5;    // fraction of s-peers
+  double delta = 3;   // tree degree constraint
+  double ttl = 4;     // flood radius
+};
+
+/// Average number of s-peers per s-network, p_s/(1-p_s) (Section 4.1).
+[[nodiscard]] double snetwork_size(const ModelParams& p);
+
+/// Probability that a requested item lives in the requester's own
+/// s-network, p = p_s / (N (1-p_s)) (Section 4.2).
+[[nodiscard]] double local_hit_probability(const ModelParams& p);
+
+/// Average join latency in hops for a t-peer: log((1-p_s) N / 2) with
+/// finger acceleration (Section 4.1).
+[[nodiscard]] double tpeer_join_hops(const ModelParams& p);
+
+/// Average join latency in hops for an s-peer under the degree constraint:
+/// log_delta(p_s/(1-p_s)) (Section 4.1).
+[[nodiscard]] double speer_join_hops(const ModelParams& p);
+
+/// Eq. (1): the p_s-weighted average join latency.
+[[nodiscard]] double average_join_hops(const ModelParams& p);
+
+/// Eq. (2): expected number of peers outside the flood radius of a lookup
+/// in a degree-constrained s-network (midpoint of the t-peer-initiated and
+/// leaf-initiated cases).
+[[nodiscard]] double peers_out_of_flood_range(const ModelParams& p);
+
+/// Lookup failure ratio estimate implied by Eq. (2): out-of-range peers
+/// over s-network size, clamped to [0, 1].
+[[nodiscard]] double lookup_failure_ratio(const ModelParams& p);
+
+/// Average lookup latency (hops) when s-networks are built without the
+/// degree constraint (star topologies, diameter 2).
+[[nodiscard]] double lookup_hops_unconstrained(const ModelParams& p);
+
+/// Average lookup latency (hops) with the degree constraint delta
+/// (Section 4.2's second expression).
+[[nodiscard]] double lookup_hops_constrained(const ModelParams& p);
+
+/// argmin over p_s of average_join_hops on a grid; the paper reports the
+/// optimum around 0.7-0.8.
+[[nodiscard]] double optimal_ps_for_join(double n, double delta);
+
+}  // namespace hp2p::analysis

@@ -1,0 +1,22 @@
+#include "common/hashing.hpp"
+
+namespace hp2p {
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+DataId hash_key(std::string_view key) {
+  return DataId{mix64(fnv1a64(key)) & (kRingSize - 1)};
+}
+
+PeerId hash_address(std::uint64_t address) {
+  return PeerId{mix64(address) & (kRingSize - 1)};
+}
+
+}  // namespace hp2p

@@ -1,0 +1,33 @@
+// Hash functions used to map data keys and peer addresses into the ring id
+// space.  The paper only requires a uniform hash from keys to d_ids; we use
+// FNV-1a for strings followed by a splitmix64 finalizer for avalanche, so
+// nearby keys ("file1", "file2") land far apart on the ring.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/ids.hpp"
+
+namespace hp2p {
+
+/// 64-bit FNV-1a over a byte string.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes);
+
+/// splitmix64 finalizer: bijective 64-bit mixing with full avalanche.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Hashes a data key (file name etc.) to its d_id, as `lookup(key)` and
+/// `store(key, value)` do before touching the overlay.
+[[nodiscard]] DataId hash_key(std::string_view key);
+
+/// Hashes a synthetic "IP address" (any 64-bit host identity) to a p_id;
+/// one of the server's id-generation options in Section 3.2.1.
+[[nodiscard]] PeerId hash_address(std::uint64_t address);
+
+}  // namespace hp2p

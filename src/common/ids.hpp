@@ -1,0 +1,85 @@
+// Strong identifier types shared by every layer of the hybrid P2P system.
+//
+// The paper works with three id spaces:
+//   * p_id  -- position of a t-peer on the ring (s-peers inherit the p_id of
+//              their s-network's t-peer),
+//   * d_id  -- hash of a data key, drawn from the *same* space as p_id,
+//   * physical node ids in the underlay topology.
+// Mixing these up is the classic P2P-simulator bug, so each gets a distinct
+// C++ type.  Dense array indices (peer slots, hosts) are separate again from
+// the sparse ring ids.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace hp2p {
+
+/// Number of bits in the ring identifier space (p_id / d_id).  The paper uses
+/// "a positive integer"; 32 bits matches Chord's common configuration and
+/// leaves headroom for midpoint-splitting on id conflicts.
+inline constexpr unsigned kRingBits = 32;
+
+/// Size of the ring identifier space, i.e. ids live in [0, kRingSize).
+inline constexpr std::uint64_t kRingSize = std::uint64_t{1} << kRingBits;
+
+namespace detail {
+
+/// CRTP-free strong wrapper around an integer.  Tag makes each instantiation
+/// a distinct type; arithmetic is intentionally *not* provided (ring
+/// arithmetic is modular and lives in ring_math.hpp).
+template <typename Tag, typename Rep>
+class StrongId {
+ public:
+  using rep = Rep;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep v) : value_(v) {}
+
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    return os << id.value_;
+  }
+
+ private:
+  Rep value_{};
+};
+
+}  // namespace detail
+
+/// Ring position of a peer (the paper's p_id), in [0, kRingSize).
+using PeerId = detail::StrongId<struct PeerIdTag, std::uint64_t>;
+
+/// Hashed data key (the paper's d_id), in [0, kRingSize).
+using DataId = detail::StrongId<struct DataIdTag, std::uint64_t>;
+
+/// Dense index of a peer slot inside a simulation (0..num_peers-1).  Stable
+/// for the lifetime of a run; a crashed/left peer keeps its index but is
+/// marked dead.
+using PeerIndex = detail::StrongId<struct PeerIndexTag, std::uint32_t>;
+
+/// Dense index of a physical host in the underlay topology.
+using HostIndex = detail::StrongId<struct HostIndexTag, std::uint32_t>;
+
+/// Sentinel for "no peer".
+inline constexpr PeerIndex kNoPeer{std::numeric_limits<std::uint32_t>::max()};
+
+/// Sentinel for "no host".
+inline constexpr HostIndex kNoHost{std::numeric_limits<std::uint32_t>::max()};
+
+}  // namespace hp2p
+
+namespace std {
+template <typename Tag, typename Rep>
+struct hash<hp2p::detail::StrongId<Tag, Rep>> {
+  size_t operator()(hp2p::detail::StrongId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+}  // namespace std

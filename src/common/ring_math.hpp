@@ -1,0 +1,67 @@
+// Modular arithmetic helpers for the circular identifier space.
+//
+// All the overlay protocols (Chord baseline, t-network) reason about
+// half-open arcs on the ring.  Centralizing the wrap-around logic here keeps
+// the protocol code free of off-by-one modular bugs.
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.hpp"
+
+namespace hp2p::ring {
+
+/// Reduces an arbitrary 64-bit value into the ring id space.
+[[nodiscard]] constexpr std::uint64_t reduce(std::uint64_t v) {
+  return v & (kRingSize - 1);
+}
+
+/// True iff `x` lies on the half-open arc (a, b] walking clockwise
+/// (increasing ids, wrapping at kRingSize).  This is the ownership test:
+/// a peer with id b and predecessor a owns exactly the keys in (a, b].
+[[nodiscard]] constexpr bool in_arc_open_closed(std::uint64_t x,
+                                                std::uint64_t a,
+                                                std::uint64_t b) {
+  if (a == b) return true;  // single-node ring owns everything
+  if (a < b) return a < x && x <= b;
+  return x > a || x <= b;  // arc wraps zero
+}
+
+/// True iff `x` lies on the open arc (a, b) walking clockwise.
+[[nodiscard]] constexpr bool in_arc_open_open(std::uint64_t x,
+                                              std::uint64_t a,
+                                              std::uint64_t b) {
+  if (a == b) return x != a;  // full circle minus the endpoint
+  if (a < b) return a < x && x < b;
+  return x > a || x < b;
+}
+
+/// Clockwise distance from `a` to `b` (how far b is "ahead" of a).
+[[nodiscard]] constexpr std::uint64_t distance_cw(std::uint64_t a,
+                                                  std::uint64_t b) {
+  return reduce(b - a);
+}
+
+/// Midpoint of the clockwise arc from `a` to `b`; used by the paper's
+/// conflict-resolution rule "n.id = (id + suc.id)/2" generalized to the
+/// wrapped ring.  Consistent with the arc predicates, a == b means the full
+/// circle, so the midpoint is the antipode.
+[[nodiscard]] constexpr std::uint64_t midpoint_cw(std::uint64_t a,
+                                                  std::uint64_t b) {
+  if (a == b) return reduce(a + kRingSize / 2);
+  return reduce(a + distance_cw(a, b) / 2);
+}
+
+/// The id exactly 2^k past `a`, the k-th Chord finger start.
+[[nodiscard]] constexpr std::uint64_t finger_start(std::uint64_t a,
+                                                   unsigned k) {
+  return reduce(a + (std::uint64_t{1} << k));
+}
+
+/// Ownership test phrased on the strong types: does the peer with id
+/// `owner` and predecessor id `pred` own data id `d`?
+[[nodiscard]] constexpr bool owns(PeerId owner, PeerId pred, DataId d) {
+  return in_arc_open_closed(d.value(), pred.value(), owner.value());
+}
+
+}  // namespace hp2p::ring

@@ -1,0 +1,70 @@
+#include "common/rng.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "common/hashing.hpp"
+
+namespace hp2p {
+
+Rng::Rng(std::uint64_t seed) {
+  // splitmix64 seeding per the xoshiro authors' recommendation.
+  std::uint64_t x = seed;
+  for (auto& lane : s_) {
+    x += 0x9e3779b97f4a7c15ULL;
+    lane = mix64(x);
+  }
+}
+
+Rng Rng::fork(std::uint64_t stream_id) const {
+  // Mix all lanes with the stream id so forked streams are decorrelated
+  // even for adjacent stream ids.
+  std::uint64_t digest = mix64(stream_id ^ 0xd1b54a32d192ed03ULL);
+  for (auto lane : s_) digest = mix64(digest ^ lane);
+  return Rng{digest};
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = std::rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t lo, std::uint64_t hi) {
+  const std::uint64_t span = hi - lo;  // inclusive range size - 1
+  if (span == ~std::uint64_t{0}) return next();
+  // Lemire-style rejection for unbiased bounded generation.
+  const std::uint64_t n = span + 1;
+  const std::uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return lo + r % n;
+  }
+}
+
+std::size_t Rng::index(std::size_t n) {
+  return static_cast<std::size_t>(uniform(0, static_cast<std::uint64_t>(n) - 1));
+}
+
+double Rng::uniform01() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+double Rng::exponential(double mean) {
+  // Inverse-CDF sampling; uniform01() < 1 so the log argument is > 0.
+  return -mean * std::log(1.0 - uniform01());
+}
+
+}  // namespace hp2p

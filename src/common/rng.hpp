@@ -1,0 +1,69 @@
+// Deterministic random number generation.
+//
+// Every simulation replica owns one Rng seeded from (experiment seed,
+// replica index); no global RNG state exists anywhere in the library, which
+// is what makes replicas safe to run on a thread pool and runs bit-exactly
+// reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace hp2p {
+
+/// xoshiro256** 1.0 (Blackman & Vigna).  Satisfies UniformRandomBitGenerator
+/// so it composes with <random> distributions, but the convenience members
+/// below avoid distribution-object boilerplate at call sites.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four lanes via splitmix64 so any 64-bit seed (including 0)
+  /// yields a well-mixed state.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Derives an independent child stream; used to give each replica and each
+  /// workload generator its own stream from one experiment seed.
+  [[nodiscard]] Rng fork(std::uint64_t stream_id) const;
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+  result_type operator()() { return next(); }
+
+  /// Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
+  [[nodiscard]] std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform index in [0, n); requires n > 0.
+  [[nodiscard]] std::size_t index(std::size_t n);
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform01();
+
+  /// True with probability p (clamped to [0,1]).
+  [[nodiscard]] bool chance(double p);
+
+  /// Exponentially distributed value with the given mean.
+  [[nodiscard]] double exponential(double mean);
+
+  /// Picks a uniformly random element of a non-empty vector.
+  template <typename T>
+  [[nodiscard]] const T& pick(const std::vector<T>& v) {
+    return v[index(v.size())];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+ private:
+  std::uint64_t next();
+  std::uint64_t s_[4];
+};
+
+}  // namespace hp2p

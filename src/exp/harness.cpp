@@ -1,0 +1,293 @@
+#include "exp/harness.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "hybrid/hybrid_system.hpp"
+#include "net/transit_stub.hpp"
+#include "net/underlay.hpp"
+#include "sim/simulator.hpp"
+#include "workload/workload.hpp"
+
+namespace hp2p::exp {
+namespace {
+
+using hybrid::HybridSystem;
+using hybrid::Role;
+
+/// Role sequence with exactly round((1-ps) n) t-peers, first peer always a
+/// t-peer.  With capacity sorting, t-roles are paired with the fastest
+/// hosts by construction in the caller.
+std::vector<Role> role_sequence(std::uint32_t n, double ps, bool tpeers_first,
+                                Rng& rng) {
+  auto n_t = static_cast<std::uint32_t>(
+      std::max(1.0, (1.0 - ps) * static_cast<double>(n) + 0.5));
+  n_t = std::min(n_t, n);
+  std::vector<Role> roles(n, Role::kSPeer);
+  for (std::uint32_t i = 0; i < n_t; ++i) roles[i] = Role::kTPeer;
+  if (!tpeers_first) {
+    std::vector<Role> tail(roles.begin() + 1, roles.end());
+    rng.shuffle(tail);
+    std::copy(tail.begin(), tail.end(), roles.begin() + 1);
+  }
+  return roles;
+}
+
+}  // namespace
+
+RunResult run_hybrid_experiment(const RunConfig& raw_config) {
+  RunConfig config = raw_config;
+  // A ring-mode lookup can legitimately walk ~N_t hops at ~100 ms per hop
+  // on a transit-stub underlay; a fixed timeout would misclassify long
+  // walks as failures (the paper's Table 2 counts full walks).  Scale the
+  // deadline with the worst-case walk, never below the configured value.
+  const auto walk_bound = sim::SimTime::millis(
+      static_cast<std::int64_t>(config.num_peers) * 250 + 15'000);
+  if (config.hybrid.lookup_timeout < walk_bound) {
+    config.hybrid.lookup_timeout = walk_bound;
+  }
+
+  Rng rng{config.seed};
+  Rng topo_rng = rng.fork(1);
+  Rng build_rng = rng.fork(2);
+  Rng op_rng = rng.fork(3);
+
+  // One underlay host per peer plus one for the server, as in the paper's
+  // 1,000-node GT-ITM topologies.
+  const auto ts_params =
+      net::TransitStubParams::for_total_nodes(config.num_peers + 1);
+  net::Underlay underlay{net::generate_transit_stub(ts_params, topo_rng),
+                         topo_rng};
+
+  sim::Simulator sim;
+  proto::OverlayNetworkOptions net_opts;
+  net_opts.model_transmission_delay = config.model_transmission_delay;
+  net_opts.track_link_stress = config.track_link_stress;
+  proto::OverlayNetwork network{sim, underlay, net_opts};
+
+  HybridSystem system{network, config.hybrid, HostIndex{0}, build_rng};
+
+  RunResult result;
+
+  // ---- Build phase ----------------------------------------------------------
+  const auto roles = role_sequence(config.num_peers, config.hybrid.ps,
+                                   config.tpeers_first, build_rng);
+  // Host assignment: peer i -> host i+1 by default.  With capacity-sorted
+  // roles, t-peers take the highest-capacity hosts (Section 5.1).
+  std::vector<HostIndex> hosts;
+  hosts.reserve(config.num_peers);
+  for (std::uint32_t i = 0; i < config.num_peers; ++i) {
+    hosts.push_back(HostIndex{1 + i % (underlay.num_hosts() - 1)});
+  }
+  if (config.capacity_sorted_roles) {
+    std::vector<HostIndex> sorted = hosts;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [&](HostIndex a, HostIndex b) {
+                       return static_cast<int>(underlay.capacity(a)) >
+                              static_cast<int>(underlay.capacity(b));
+                     });
+    // Fast hosts go to the t-roles (in role order), the rest to s-roles.
+    std::size_t fast = 0;
+    std::size_t slow = sorted.size();
+    for (std::uint32_t i = 0; i < config.num_peers; ++i) {
+      hosts[i] = roles[i] == Role::kTPeer ? sorted[fast++] : sorted[--slow];
+    }
+  }
+
+  std::vector<PeerIndex> peers;
+  peers.reserve(config.num_peers);
+  std::vector<std::uint32_t> interests(config.num_peers);
+  for (auto& interest : interests) {
+    interest = static_cast<std::uint32_t>(
+        build_rng.index(config.hybrid.num_interests));
+  }
+  const auto schedule_join = [&](std::uint32_t i, std::int64_t slot) {
+    sim.schedule_after(
+        sim::SimTime::micros(slot * config.join_spacing.as_micros()),
+        [&, i] {
+          peers.push_back(system.add_peer_with_interest(
+              hosts[i], roles[i], interests[i],
+              [&result](proto::JoinResult r) {
+                ++result.joins_completed;
+                result.join_latency_ms.add(r.latency.as_millis());
+                result.join_hops.add(static_cast<double>(r.request_hops));
+              }));
+        });
+  };
+  if (config.tpeers_first) {
+    // Two-phase build: the whole t-network settles (ring walks included)
+    // before the first s-peer consults the server, so segment boundaries
+    // and interest anchors are final.
+    std::int64_t slot = 0;
+    for (std::uint32_t i = 0; i < config.num_peers; ++i) {
+      if (roles[i] == Role::kTPeer) schedule_join(i, slot++);
+    }
+    sim.run();
+    slot = 0;
+    for (std::uint32_t i = 0; i < config.num_peers; ++i) {
+      if (roles[i] == Role::kSPeer) schedule_join(i, slot++);
+    }
+    sim.run();
+  } else {
+    for (std::uint32_t i = 0; i < config.num_peers; ++i) {
+      schedule_join(i, static_cast<std::int64_t>(i));
+    }
+    sim.run();
+  }
+
+  // Finger-accelerated routing needs populated tables; the hybrid paper
+  // leaves finger construction to Chord-style maintenance, which we fold
+  // into one post-build refresh (see HybridSystem::refresh_all_fingers).
+  if (config.hybrid.t_routing == hybrid::TRouting::kFinger) {
+    system.refresh_all_fingers();
+  }
+
+  // ---- Populate phase -------------------------------------------------------
+  std::vector<DataId> stored_ids;
+  stored_ids.reserve(config.num_items);
+  // Interest-tagged content, bucketed by interest so interest-local
+  // lookups can target own-interest items (Section 5.3 workload).
+  std::vector<std::vector<DataId>> by_interest(config.hybrid.num_interests);
+  const auto corpus = workload::uniform_corpus(config.num_items, config.seed);
+  for (std::size_t i = 0; i < config.num_items; ++i) {
+    sim.schedule_after(
+        sim::SimTime::micros(static_cast<std::int64_t>(i) *
+                             config.op_spacing.as_micros()),
+        [&, i] {
+          const auto live = system.live_peers();
+          if (live.empty()) return;
+          const PeerIndex origin = live[op_rng.index(live.size())];
+          DataId id = corpus[i].id;
+          if (config.interest_locality > 0.0 &&
+              op_rng.chance(config.interest_locality)) {
+            // Publish content of the origin's interest: the id falls in the
+            // interest's anchor band, regardless of assignment policy.
+            const std::uint32_t interest = system.interest_of(origin);
+            id = workload::interest_band_id(op_rng, interest,
+                                            config.hybrid.num_interests);
+            by_interest[interest].push_back(id);
+          }
+          stored_ids.push_back(id);
+          system.store_id(origin, id, corpus[i].key, corpus[i].value);
+        });
+  }
+  sim.run();
+
+  // ---- Optional crash / maintenance phase ---------------------------------------
+  const bool heartbeats = config.crash_fraction > 0.0 ||
+                          config.failure_detection;
+  if (heartbeats) {
+    system.start_failure_detection();
+    if (config.crash_fraction > 0.0) {
+      const auto live = system.live_peers();
+      auto victims = live;
+      op_rng.shuffle(victims);
+      const auto n_crash = static_cast<std::size_t>(
+          config.crash_fraction * static_cast<double>(live.size()));
+      for (std::size_t i = 0; i < n_crash && i < victims.size(); ++i) {
+        system.crash(victims[i]);
+      }
+    }
+    sim.run_until(sim.now() + config.recovery_time);
+  }
+
+  // ---- Lookup phase -----------------------------------------------------------
+  std::optional<workload::ZipfSampler> zipf;
+  if (config.zipf_exponent > 0.0 && !stored_ids.empty()) {
+    zipf.emplace(stored_ids.size(), config.zipf_exponent);
+  }
+  const sim::SimTime lookup_phase_start = sim.now();
+  for (std::size_t i = 0; i < config.num_lookups; ++i) {
+    sim.schedule_after(
+        sim::SimTime::micros(static_cast<std::int64_t>(i) *
+                             config.op_spacing.as_micros()),
+        [&] {
+          const auto live = system.live_peers();
+          if (live.empty() || stored_ids.empty()) return;
+          const std::size_t pool =
+              config.lookup_origin_pool > 0
+                  ? std::min(config.lookup_origin_pool, live.size())
+                  : live.size();
+          const PeerIndex origin = live[op_rng.index(pool)];
+          DataId target =
+              zipf ? stored_ids[zipf->sample(op_rng)]
+                   : stored_ids[op_rng.index(stored_ids.size())];
+          if (config.interest_locality > 0.0 &&
+              op_rng.chance(config.interest_locality)) {
+            const auto& mine = by_interest[system.interest_of(origin)];
+            if (!mine.empty()) target = mine[op_rng.index(mine.size())];
+          }
+          system.lookup_id(origin, target, [&result](proto::LookupResult r) {
+            result.lookups.record(r);
+            if (r.success) {
+              result.lookup_latency_ms.add(r.latency.as_millis());
+              result.lookup_hops.add(static_cast<double>(r.request_hops));
+            }
+          });
+        });
+  }
+  // Drain: with heartbeats running the queue never empties, so bound the
+  // phase explicitly (ops + timeout + slack).
+  const auto phase_span = sim::SimTime::micros(
+      static_cast<std::int64_t>(config.num_lookups) *
+      config.op_spacing.as_micros());
+  if (heartbeats) {
+    sim.run_until(lookup_phase_start + phase_span +
+                  config.hybrid.lookup_timeout + sim::SimTime::seconds(5));
+  } else {
+    sim.run();
+  }
+
+  // ---- Collection ----------------------------------------------------------------
+  result.items_per_peer = system.items_per_peer();
+  result.network = network.stats();
+  result.num_tpeers = system.num_tpeers();
+  result.num_speers = system.num_speers();
+  result.bypass_installs = system.bypass_installs();
+  result.bypass_uses = system.bypass_uses();
+  result.max_answers_served = system.max_answers_served();
+  result.cache_hits = system.cache_hits();
+  if (network.link_stress() != nullptr) {
+    result.mean_link_stress = network.link_stress()->mean_stress();
+  }
+  for (const PeerIndex p : system.live_peers()) {
+    std::size_t degree = system.children_of(p).size();
+    if (system.role_of(p) == hybrid::Role::kSPeer) ++degree;
+    result.max_tree_degree = std::max(result.max_tree_degree, degree);
+  }
+  {
+    double t_traffic = 0;
+    double s_traffic = 0;
+    std::size_t t_n = 0;
+    std::size_t s_n = 0;
+    for (const PeerIndex p : system.live_peers()) {
+      const double traffic =
+          static_cast<double>(network.messages_sent_by(p) +
+                              network.messages_received_by(p));
+      if (system.role_of(p) == hybrid::Role::kTPeer) {
+        t_traffic += traffic;
+        ++t_n;
+      } else {
+        s_traffic += traffic;
+        ++s_n;
+      }
+    }
+    result.mean_tpeer_traffic = t_n > 0 ? t_traffic / static_cast<double>(t_n) : 0;
+    result.mean_speer_traffic = s_n > 0 ? s_traffic / static_cast<double>(s_n) : 0;
+  }
+  if (network.link_stress() != nullptr) {
+    result.max_link_stress = network.link_stress()->max_stress();
+  }
+  return result;
+}
+
+double mean_of(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double total = 0;
+  for (double x : xs) total += x;
+  return total / static_cast<double>(xs.size());
+}
+
+}  // namespace exp

@@ -1,0 +1,148 @@
+// Experiment harness: builds a complete simulated deployment of the hybrid
+// system (underlay -> transport -> overlay), drives the paper's three
+// workload phases (build, populate, lookup; optionally a crash phase in
+// between) and returns every metric the evaluation section reports.
+//
+// Every bench binary is a thin loop over RunConfig values feeding
+// run_hybrid_experiment(); multi-replica sweeps go through parallel_map().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "hybrid/params.hpp"
+#include "proto/metrics.hpp"
+#include "proto/overlay_network.hpp"
+#include "sim/time.hpp"
+#include "stats/summary.hpp"
+
+namespace hp2p::exp {
+
+/// Everything one replica needs.  Defaults mirror Section 6: 1,000-node
+/// GT-ITM-style underlay, one peer per node, delta = 3.
+struct RunConfig {
+  std::uint64_t seed = 1;
+  std::uint32_t num_peers = 1000;
+  std::size_t num_items = 2000;
+  std::size_t num_lookups = 2000;
+
+  hybrid::HybridParams hybrid;
+
+  /// Crash this fraction of peers (no load transfer) after the populate
+  /// phase; failure detection runs and the system gets recovery_time before
+  /// lookups start (Fig. 5b).
+  double crash_fraction = 0.0;
+  sim::Duration recovery_time = sim::SimTime::seconds(30);
+
+  /// Run HELLO/ack failure detection for recovery_time before the lookup
+  /// phase even without crashes -- exposes steady-state maintenance traffic
+  /// (implied when crash_fraction > 0).
+  bool failure_detection = false;
+
+  /// Section 5.1 role assignment: t-peer roles go to the fastest hosts.
+  bool capacity_sorted_roles = false;
+  /// Model per-hop transmission delay from access-link capacities.
+  bool model_transmission_delay = false;
+  /// Track per-physical-link message copies.
+  bool track_link_stress = false;
+
+  /// Fraction of stores/lookups that follow the issuing peer's *interest*
+  /// (Section 5.3 workload): an interest-local store publishes content
+  /// whose id falls in the interest's anchor segment, and an interest-local
+  /// lookup targets content of the issuer's interest.  Only with
+  /// hybrid.interest_based assignment does this become segment-local
+  /// traffic; under random assignment the same workload crosses the
+  /// t-network.  0 = uniform workload.
+  double interest_locality = 0.0;
+
+  /// When > 0, lookups are issued from a fixed pool of this many peers
+  /// instead of uniformly random origins -- repetitive traffic that lets
+  /// per-peer caches (bypass links, Section 5.4) pay off.
+  std::size_t lookup_origin_pool = 0;
+
+  /// When > 0, lookup targets follow a Zipf(zipf_exponent) popularity
+  /// distribution over the stored items instead of uniform choice.
+  double zipf_exponent = 0.0;
+
+  /// Admit the whole t-network before any s-peer joins.  Keeps segment
+  /// boundaries (and interest anchors) stable during the build; the
+  /// interleaved default stresses the concurrent-join machinery instead.
+  bool tpeers_first = false;
+
+  /// Build/operation pacing (simulated time).
+  sim::Duration join_spacing = sim::SimTime::millis(25);
+  sim::Duration op_spacing = sim::SimTime::millis(5);
+};
+
+/// Everything one replica measures.
+struct RunResult {
+  proto::LookupStats lookups;
+  stats::Summary join_latency_ms;
+  stats::Summary join_hops;
+  stats::Summary lookup_latency_ms;  // successful lookups only
+  stats::Summary lookup_hops;
+  std::vector<std::size_t> items_per_peer;
+  proto::NetworkStats network;
+  std::uint64_t max_link_stress = 0;
+  /// Largest s-network link degree of any peer (star topologies blow this
+  /// up at the roots; degree-capped trees keep it at delta).
+  std::size_t max_tree_degree = 0;
+  std::size_t num_tpeers = 0;
+  std::size_t num_speers = 0;
+  std::size_t joins_completed = 0;
+  std::uint64_t bypass_installs = 0;
+  std::uint64_t bypass_uses = 0;
+  /// Largest number of lookups any single peer answered (hot-spot load).
+  std::uint64_t max_answers_served = 0;
+  /// Lookups answered from caches (Section 7 scheme).
+  std::uint64_t cache_hits = 0;
+  /// Mean per-physical-link message copies (needs track_link_stress).
+  double mean_link_stress = 0;
+  /// Mean overlay messages handled (sent + received) per t-peer / s-peer:
+  /// the load-imbalance observation motivating Section 5.1.
+  double mean_tpeer_traffic = 0;
+  double mean_speer_traffic = 0;
+
+  /// Table 2's metric: total peers contacted across all lookups.
+  [[nodiscard]] std::uint64_t connum() const {
+    return lookups.total_peers_contacted;
+  }
+};
+
+/// Runs one full replica; deterministic in `config` (including seed).
+[[nodiscard]] RunResult run_hybrid_experiment(const RunConfig& config);
+
+/// Maps `fn` over `configs` on a thread pool (replicas are independent).
+template <typename Config, typename Fn>
+auto parallel_map(const std::vector<Config>& configs, Fn fn,
+                  unsigned max_threads = 0) {
+  using Result = decltype(fn(configs.front()));
+  std::vector<Result> results(configs.size());
+  if (configs.empty()) return results;
+  unsigned workers = max_threads != 0 ? max_threads
+                                      : std::thread::hardware_concurrency();
+  workers = std::max(1u, std::min<unsigned>(
+                             workers, static_cast<unsigned>(configs.size())));
+  std::vector<std::thread> pool;
+  std::atomic<std::size_t> next{0};
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= configs.size()) return;
+        results[i] = fn(configs[i]);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  return results;
+}
+
+/// Averages a per-replica metric.
+[[nodiscard]] double mean_of(const std::vector<double>& xs);
+
+}  // namespace hp2p::exp

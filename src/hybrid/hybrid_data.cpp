@@ -1,0 +1,669 @@
+// HybridSystem: data insertion and lookup (Section 3.4), both placement
+// schemes, TTL flooding, bypass links (Section 5.4) and the BitTorrent-style
+// tracker mode (Section 5.5).
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+#include "hybrid/hybrid_system.hpp"
+
+namespace hp2p::hybrid {
+
+using proto::TrafficClass;
+
+bool HybridSystem::in_local_segment(const Peer& p, DataId id) const {
+  const PeerIndex root = p.tpeer;
+  if (root == kNoPeer) return false;
+  const Peer& t = peer(root);
+  if (!t.joined) return false;
+  return ring::in_arc_open_closed(id.value(), t.predecessor_id.value(),
+                                  t.pid.value());
+}
+
+// --- Store (Section 3.4) --------------------------------------------------------
+
+void HybridSystem::store(PeerIndex from, const std::string& key,
+                         std::uint64_t value, StoreCallback done) {
+  store_id(from, hash_key(key), key, value, std::move(done));
+}
+
+void HybridSystem::store_id(PeerIndex from, DataId id, const std::string& key,
+                            std::uint64_t value, StoreCallback done) {
+  Peer& p = peer(from);
+  proto::DataItem item{id, key, value, from};
+
+  if (in_local_segment(p, id)) {
+    // "If the d_id lies in the range of the current s-network, the data item
+    // is inserted to its database" -- the generating peer keeps it.
+    p.store.insert(std::move(item));
+    if (params_.style == SNetworkStyle::kBitTorrent &&
+        p.role == Role::kSPeer) {
+      // Report to the tracker (the t-peer).
+      const PeerIndex tracker = p.tpeer;
+      net_.send(from, tracker, TrafficClass::kControl, proto::kControlBytes,
+                [this, tracker, id, from] {
+                  peer(tracker).tracker_index[id] = from;
+                });
+    }
+    if (done) done();
+    return;
+  }
+
+  // Bypass shortcut (Section 5.4): a live link into the right s-network
+  // skips the whole t-network trip.
+  if (params_.bypass_links) {
+    if (const BypassLink* bp = find_bypass(p, id); bp != nullptr) {
+      const PeerIndex to = bp->to;
+      net_.send(from, to, TrafficClass::kData, proto::kDataBytes,
+                [this, to, id, item = std::move(item),
+                 done = std::move(done)]() mutable {
+                  peer(to).store.insert(std::move(item));
+                  if (params_.style == SNetworkStyle::kBitTorrent) {
+                    const PeerIndex tracker = peer(to).tpeer;
+                    peer(tracker).tracker_index[id] = to;
+                  }
+                  if (done) done();
+                });
+      return;
+    }
+  }
+
+  // Up the tree to the local t-peer, around the ring to the responsible
+  // t-peer, then place.
+  const PeerIndex origin = from;
+  forward_up_to_tpeer(
+      from, proto::kDataBytes, TrafficClass::kData,
+      [this, item = std::move(item), origin, done = std::move(done)](
+          PeerIndex root, std::uint32_t hops) mutable {
+        route_ring(root, item.id.value(), hops, 0, TrafficClass::kData,
+                   proto::kDataBytes,
+                   [this, item = std::move(item), origin,
+                    done = std::move(done)](PeerIndex owner, std::uint32_t,
+                                            std::uint32_t) mutable {
+                     place_item(owner, std::move(item), std::move(done));
+                     (void)origin;
+                   });
+      },
+      0);
+}
+
+void HybridSystem::forward_up_to_tpeer(
+    PeerIndex at, std::uint32_t bytes, proto::TrafficClass cls,
+    std::function<void(PeerIndex, std::uint32_t)> at_root,
+    std::uint32_t hops) {
+  Peer& p = peer(at);
+  if (p.role == Role::kTPeer) {
+    at_root(at, hops);
+    return;
+  }
+  const PeerIndex next = p.cp != kNoPeer ? p.cp : p.tpeer;
+  if (next == kNoPeer) return;  // detached orphan: request dies, timer fires
+  net_.send(at, next, cls, bytes,
+            [this, next, bytes, cls, at_root = std::move(at_root), hops] {
+              forward_up_to_tpeer(next, bytes, cls, at_root, hops + 1);
+            });
+}
+
+void HybridSystem::route_ring(
+    PeerIndex at, std::uint64_t target, std::uint32_t hops,
+    std::uint32_t contacted, proto::TrafficClass cls, std::uint32_t bytes,
+    std::function<void(PeerIndex, std::uint32_t, std::uint32_t)> at_owner,
+    std::function<bool(PeerIndex, std::uint32_t)> intercept) {
+  Peer& here = peer(at);
+  if (!here.joined || here.role != Role::kTPeer) return;  // mid-churn loss
+  if (ring::in_arc_open_closed(target, here.predecessor_id.value(),
+                               here.pid.value()) ||
+      here.successor == at) {
+    at_owner(at, hops, contacted);
+    return;
+  }
+  if (intercept && intercept(at, hops)) return;  // surrogate answered
+  PeerIndex next = here.successor;
+  if (params_.t_routing == TRouting::kFinger) {
+    const chord::Finger f = here.fingers.closest_preceding(target);
+    if (f.node != kNoPeer && f.node != at) next = f.node;
+  }
+  net_.send(at, next, cls, bytes,
+            [this, next, target, hops, contacted, cls, bytes,
+             at_owner = std::move(at_owner),
+             intercept = std::move(intercept)] {
+              route_ring(next, target, hops + 1, contacted + 1, cls, bytes,
+                         at_owner, intercept);
+            });
+}
+
+void HybridSystem::place_item(PeerIndex at, proto::DataItem item,
+                              StoreCallback done) {
+  Peer& t = peer(at);
+  if (params_.style == SNetworkStyle::kBitTorrent) {
+    // Tracker mode: spread to a random member, index at the tracker.
+    const auto members = snetwork_members(at);
+    const PeerIndex holder = members[rng_.index(members.size())];
+    const DataId id = item.id;
+    if (holder == at) {
+      t.store.insert(std::move(item));
+      t.tracker_index[id] = at;
+      if (done) done();
+      return;
+    }
+    net_.send(at, holder, TrafficClass::kData, proto::kDataBytes,
+              [this, holder, at, id, item = std::move(item),
+               done = std::move(done)]() mutable {
+                peer(holder).store.insert(std::move(item));
+                net_.send(holder, at, TrafficClass::kControl,
+                          proto::kControlBytes, [this, at, id, holder] {
+                            peer(at).tracker_index[id] = holder;
+                          });
+                if (done) done();
+              });
+    return;
+  }
+  if (params_.placement == PlacementScheme::kTPeerStores) {
+    const PeerIndex origin = item.origin;
+    t.store.insert(std::move(item));
+    if (params_.bypass_links) maybe_add_bypass(origin, at);
+    if (done) done();
+    return;
+  }
+  spread_item(at, std::move(item), std::move(done));
+}
+
+void HybridSystem::spread_item(PeerIndex at, proto::DataItem item,
+                               StoreCallback done) {
+  // Scheme 2 (Section 3.4): pick uniformly among self and the directly
+  // connected downstream neighbours; repeat at the chosen peer.  Restricting
+  // the walk to children guarantees termination at the leaves.
+  Peer& p = peer(at);
+  const std::size_t options = p.children.size() + 1;
+  const std::size_t pick = rng_.index(options);
+  if (pick == 0 || p.children.empty()) {
+    const PeerIndex origin = item.origin;
+    p.store.insert(std::move(item));
+    if (params_.bypass_links && peer(origin).tpeer != p.tpeer) {
+      maybe_add_bypass(origin, at);
+    }
+    if (done) done();
+    return;
+  }
+  const PeerIndex next = p.children[pick - 1];
+  net_.send(at, next, TrafficClass::kData, proto::kDataBytes,
+            [this, next, item = std::move(item), done = std::move(done)]() mutable {
+              spread_item(next, std::move(item), std::move(done));
+            });
+}
+
+// --- Bypass links (Section 5.4) ----------------------------------------------------
+
+void HybridSystem::maybe_add_bypass(PeerIndex a, PeerIndex b) {
+  if (a == kNoPeer || b == kNoPeer || a == b) return;
+  Peer& pa = peer(a);
+  Peer& pb = peer(b);
+  if (!pa.joined || !pb.joined) return;
+  if (pa.tpeer == pb.tpeer) return;  // same s-network: pointless
+  // Rule 1 (Section 5.4): the degree must stay bounded by delta.  We apply
+  // the bound to the bypass budget itself -- counting bypass links against
+  // the tree cap would leave interior peers permanently ineligible and
+  // make the mechanism vacuous.  Expired links free their budget slot.
+  prune_bypass(pa);
+  prune_bypass(pb);
+  if (pa.bypass.size() >= params_.delta || pb.bypass.size() >= params_.delta) {
+    return;
+  }
+  const sim::SimTime expiry = sim_.now() + params_.bypass_lifetime;
+  ++bypass_installs_;
+  auto install = [this, expiry](Peer& from, const Peer& to) {
+    const Peer& remote_root = peer(to.tpeer);
+    for (BypassLink& l : from.bypass) {
+      if (l.to == to.self) {
+        l.expires = expiry;  // refresh
+        return;
+      }
+    }
+    from.bypass.push_back(BypassLink{to.self, remote_root.predecessor_id,
+                                     remote_root.pid, expiry});
+  };
+  install(pa, pb);
+  install(pb, pa);
+}
+
+void HybridSystem::prune_bypass(Peer& p) {
+  std::erase_if(p.bypass, [this](const BypassLink& l) {
+    return l.expires < sim_.now() || !net_.alive(l.to) || !peer(l.to).joined;
+  });
+}
+
+HybridSystem::BypassLink* HybridSystem::find_bypass(Peer& p, DataId id) {
+  for (BypassLink& l : p.bypass) {
+    if (l.expires < sim_.now()) continue;
+    if (!net_.alive(l.to) || !peer(l.to).joined) continue;
+    if (ring::in_arc_open_closed(id.value(), l.segment_lo.value(),
+                                 l.segment_hi.value())) {
+      l.expires = sim_.now() + params_.bypass_lifetime;  // use refreshes
+      ++bypass_uses_;
+      return &l;
+    }
+  }
+  return nullptr;
+}
+
+// --- Lookup (Section 3.4) ------------------------------------------------------------
+
+void HybridSystem::lookup(PeerIndex from, const std::string& key,
+                          LookupCallback done) {
+  lookup_id(from, hash_key(key), std::move(done));
+}
+
+void HybridSystem::lookup_id(PeerIndex from, DataId id, LookupCallback done) {
+  const std::uint64_t qid = next_query_id_++;
+  Query q;
+  q.origin = from;
+  q.target = id;
+  q.started = sim_.now();
+  q.done = std::move(done);
+  q.timer = sim_.schedule_after(params_.lookup_timeout, [this, qid] {
+    finish_query(qid, proto::LookupResult{});
+  });
+  queries_.emplace(qid, std::move(q));
+  Query& query = queries_[qid];
+  query.visited.insert(from.value());
+
+  Peer& p = peer(from);
+  // The requester's own database (and cache, when the Section 7 scheme is
+  // on) is free to check.
+  bool from_cache = false;
+  if (answer_source(p, id, from_cache) != nullptr) {
+    if (from_cache) ++cache_hits_;
+    proto::LookupResult r;
+    r.success = true;
+    r.latency = sim::SimTime{};
+    r.found_at = from;
+    finish_query(qid, r);
+    return;
+  }
+
+  if (in_local_segment(p, id)) {
+    if (params_.style == SNetworkStyle::kBitTorrent) {
+      // Ask the tracker directly.
+      forward_up_to_tpeer(
+          from, proto::kQueryBytes, TrafficClass::kQuery,
+          [this, qid, from](PeerIndex root, std::uint32_t hops) {
+            bt_lookup(from, qid, root, hops);
+          },
+          0);
+      return;
+    }
+    // Local search with the configured TTL.
+    search_snetwork(from, kNoPeer, qid, params_.ttl, 0);
+    if (params_.reflood_on_timeout) {
+      sim_.schedule_after(
+          sim::SimTime::micros(params_.lookup_timeout.as_micros() / 2),
+          [this, qid, from] {
+            auto it = queries_.find(qid);
+            if (it == queries_.end() || it->second.finished ||
+                it->second.reflooded) {
+              return;
+            }
+            it->second.reflooded = true;
+            search_snetwork(from, kNoPeer, qid, params_.ttl * 2, 0);
+          });
+    }
+    return;
+  }
+
+  // Cross-segment: bypass first, then the t-network.
+  if (params_.bypass_links) {
+    if (const BypassLink* bp = find_bypass(p, id); bp != nullptr) {
+      const PeerIndex to = bp->to;
+      net_.send(from, to, TrafficClass::kQuery, proto::kQueryBytes,
+                [this, to, qid] {
+                  auto it = queries_.find(qid);
+                  if (it == queries_.end() || it->second.finished) return;
+                  if (it->second.visited.insert(to.value()).second) {
+                    ++it->second.contacted;
+                  }
+                  if (try_answer(to, qid, 1)) return;
+                  // Not at the bypass peer itself: search its s-network.
+                  search_snetwork(to, kNoPeer, qid, params_.ttl, 1);
+                });
+      return;
+    }
+  }
+  start_remote_lookup(from, qid, id);
+}
+
+void HybridSystem::start_remote_lookup(PeerIndex origin, std::uint64_t qid,
+                                       DataId id) {
+  forward_up_to_tpeer(
+      origin, proto::kQueryBytes, TrafficClass::kQuery,
+      [this, qid, id](PeerIndex root, std::uint32_t hops) {
+        auto it = queries_.find(qid);
+        if (it == queries_.end() || it->second.finished) return;
+        it->second.contacted += hops;  // cp-chain forwarders
+        std::function<bool(PeerIndex, std::uint32_t)> intercept;
+        if (params_.enable_caching) {
+          intercept = [this, qid](PeerIndex at, std::uint32_t at_hops) {
+            auto qit = queries_.find(qid);
+            if (qit == queries_.end() || qit->second.finished) return true;
+            if (qit->second.visited.insert(at.value()).second) {
+              ++qit->second.contacted;
+            }
+            return try_answer(at, qid, at_hops);
+          };
+        }
+        route_ring(root, id.value(), hops, 0, TrafficClass::kQuery,
+                   proto::kQueryBytes,
+                   [this, qid](PeerIndex owner, std::uint32_t owner_hops,
+                               std::uint32_t ring_contacted) {
+                     auto qit = queries_.find(qid);
+                     if (qit == queries_.end() || qit->second.finished) return;
+                     qit->second.contacted += ring_contacted;
+                     if (qit->second.visited.insert(owner.value()).second) {
+                       ++qit->second.contacted;
+                     }
+                     if (params_.style == SNetworkStyle::kBitTorrent) {
+                       bt_lookup(qit->second.origin, qid, owner, owner_hops);
+                       return;
+                     }
+                     if (try_answer(owner, qid, owner_hops)) return;
+                     search_snetwork(owner, kNoPeer, qid, params_.ttl,
+                                     owner_hops);
+                   },
+                   std::move(intercept));
+      },
+      0);
+}
+
+void HybridSystem::bt_lookup(PeerIndex /*origin*/, std::uint64_t qid,
+                             PeerIndex tracker, std::uint32_t hops) {
+  auto it = queries_.find(qid);
+  if (it == queries_.end() || it->second.finished) return;
+  Peer& t = peer(tracker);
+  if (it->second.visited.insert(tracker.value()).second) {
+    ++it->second.contacted;
+  }
+  if (try_answer(tracker, qid, hops)) return;
+  const auto holder_it = t.tracker_index.find(it->second.target);
+  if (holder_it == t.tracker_index.end()) return;  // miss: timeout fires
+  const PeerIndex holder = holder_it->second;
+  net_.send(tracker, holder, TrafficClass::kQuery, proto::kQueryBytes,
+            [this, holder, qid, hops] {
+              auto qit = queries_.find(qid);
+              if (qit == queries_.end() || qit->second.finished) return;
+              if (qit->second.visited.insert(holder.value()).second) {
+                ++qit->second.contacted;
+              }
+              try_answer(holder, qid, hops + 1);
+            });
+}
+
+std::vector<PeerIndex> HybridSystem::snetwork_neighbors(const Peer& p) const {
+  // Tree neighbours (cp + children) plus mesh links; bypass links are
+  // shortcuts between s-networks and are not part of the local search.
+  std::vector<PeerIndex> targets;
+  if (p.cp != kNoPeer) targets.push_back(p.cp);
+  targets.insert(targets.end(), p.children.begin(), p.children.end());
+  targets.insert(targets.end(), p.mesh_links.begin(), p.mesh_links.end());
+  return targets;
+}
+
+void HybridSystem::search_snetwork(PeerIndex at, PeerIndex from,
+                                   std::uint64_t qid, unsigned ttl,
+                                   std::uint32_t hops) {
+  if (params_.s_search == SSearch::kFlood) {
+    flood(at, from, qid, ttl, hops);
+    return;
+  }
+  for (unsigned w = 0; w < params_.walkers; ++w) walk(at, qid, ttl, hops);
+}
+
+void HybridSystem::walk(PeerIndex at, std::uint64_t qid, unsigned ttl,
+                        std::uint32_t hops) {
+  if (ttl == 0) return;
+  const auto targets = snetwork_neighbors(peer(at));
+  if (targets.empty()) return;
+  const PeerIndex next = targets[rng_.index(targets.size())];
+  net_.send(at, next, TrafficClass::kQuery, proto::kQueryBytes,
+            [this, next, qid, ttl, hops] {
+              auto it = queries_.find(qid);
+              if (it == queries_.end() || it->second.finished) return;
+              // Walkers revisit peers; only first visits count as contacts.
+              if (it->second.visited.insert(next.value()).second) {
+                ++it->second.contacted;
+              }
+              if (try_answer(next, qid, hops + 1)) return;
+              walk(next, qid, ttl - 1, hops + 1);
+            });
+}
+
+void HybridSystem::flood(PeerIndex at, PeerIndex from, std::uint64_t qid,
+                         unsigned ttl, std::uint32_t hops) {
+  if (ttl == 0) return;
+  Peer& p = peer(at);
+  for (PeerIndex n : snetwork_neighbors(p)) {
+    if (n == from) continue;
+    net_.send(at, n, TrafficClass::kQuery, proto::kQueryBytes,
+              [this, n, at, qid, ttl, hops] {
+                auto it = queries_.find(qid);
+                if (it == queries_.end() || it->second.finished) return;
+                // Mesh topologies can deliver duplicates; a tree cannot.
+                if (!it->second.visited.insert(n.value()).second) return;
+                ++it->second.contacted;
+                maybe_ack(n, at);
+                if (try_answer(n, qid, hops + 1)) return;
+                flood(n, at, qid, ttl - 1, hops + 1);
+              });
+  }
+}
+
+const proto::DataItem* HybridSystem::answer_source(Peer& p, DataId id,
+                                                   bool& from_cache) {
+  from_cache = false;
+  if (const proto::DataItem* item = p.store.find(id); item != nullptr) {
+    return item;
+  }
+  if (!params_.enable_caching) return nullptr;
+  for (const auto& entry : p.cache) {
+    if (entry.item.id == id && entry.expires >= sim_.now()) {
+      from_cache = true;
+      return &entry.item;
+    }
+  }
+  return nullptr;
+}
+
+void HybridSystem::cache_put(PeerIndex at, const proto::DataItem& item) {
+  if (!params_.enable_caching || params_.cache_capacity == 0) return;
+  Peer& p = peer(at);
+  if (p.store.find(item.id) != nullptr) return;  // authoritative copy held
+  for (auto& entry : p.cache) {
+    if (entry.item.id == item.id) {
+      entry.expires = sim_.now() + params_.cache_ttl;  // refresh
+      return;
+    }
+  }
+  if (p.cache.size() >= params_.cache_capacity) p.cache.pop_front();
+  p.cache.push_back(Peer::CacheEntry{item, sim_.now() + params_.cache_ttl});
+}
+
+std::uint64_t HybridSystem::max_answers_served() const {
+  std::uint64_t best = 0;
+  for (const Peer& p : peers_) best = std::max(best, p.answers_served);
+  return best;
+}
+
+bool HybridSystem::try_answer(PeerIndex at, std::uint64_t qid,
+                              std::uint32_t hops) {
+  auto it = queries_.find(qid);
+  if (it == queries_.end() || it->second.finished) return false;
+  Query& q = it->second;
+  bool from_cache = false;
+  const proto::DataItem* item = answer_source(peer(at), q.target, from_cache);
+  if (item == nullptr) return false;
+  ++peer(at).answers_served;
+  if (from_cache) ++cache_hits_;
+  const PeerIndex origin = q.origin;
+  net_.send(at, origin, TrafficClass::kData, proto::kDataBytes,
+            [this, qid, at, hops, found = *item] {
+              auto qit = queries_.find(qid);
+              if (qit == queries_.end() || qit->second.finished) return;
+              proto::LookupResult r;
+              r.success = true;
+              r.latency = sim_.now() - qit->second.started;
+              r.request_hops = hops;
+              r.peers_contacted = qit->second.contacted;
+              r.found_at = at;
+              // The requester now holds a copy of the popular item and can
+              // serve future queries for it (Section 7 caching scheme).
+              cache_put(qit->second.origin, found);
+              if (params_.bypass_links &&
+                  peer(qit->second.origin).tpeer != peer(at).tpeer) {
+                maybe_add_bypass(qit->second.origin, at);
+              }
+              finish_query(qid, r);
+            });
+  return true;
+}
+
+std::uint64_t HybridSystem::start_keyword_query(PeerIndex from,
+                                                const std::string& substring,
+                                                sim::Duration collect_window,
+                                                KeywordCallback done) {
+  const std::uint64_t qid = next_query_id_++;
+  KeywordQuery q;
+  q.origin = from;
+  q.substring = substring;
+  q.done = std::move(done);
+  q.visited.insert(from.value());
+  q.timer = sim_.schedule_after(collect_window, [this, qid] {
+    auto it = keyword_queries_.find(qid);
+    if (it == keyword_queries_.end()) return;
+    auto finished = std::move(it->second);
+    keyword_queries_.erase(it);
+    if (finished.done) finished.done(std::move(finished.result));
+  });
+  keyword_queries_.emplace(qid, std::move(q));
+
+  // The requester's own matches are free.
+  peer(from).store.for_each([&](const proto::DataItem& item) {
+    if (item.key.find(substring) != std::string::npos) {
+      keyword_queries_[qid].result.keys.push_back(item.key);
+    }
+  });
+  return qid;
+}
+
+void HybridSystem::lookup_keyword(PeerIndex from,
+                                  const std::string& substring,
+                                  sim::Duration collect_window,
+                                  KeywordCallback done) {
+  const std::uint64_t qid =
+      start_keyword_query(from, substring, collect_window, std::move(done));
+  keyword_flood(from, kNoPeer, qid, params_.ttl);
+}
+
+void HybridSystem::lookup_keyword_global(PeerIndex from,
+                                         const std::string& substring,
+                                         sim::Duration collect_window,
+                                         KeywordCallback done) {
+  const std::uint64_t qid =
+      start_keyword_query(from, substring, collect_window, std::move(done));
+  // Local flood and ring circulation proceed concurrently (Section 3.1).
+  keyword_flood(from, kNoPeer, qid, params_.ttl);
+  const PeerIndex root = peer(from).tpeer;
+  if (root == kNoPeer || !peer(root).joined) return;
+  forward_up_to_tpeer(
+      from, proto::kQueryBytes, TrafficClass::kQuery,
+      [this, qid](PeerIndex entry, std::uint32_t) {
+        const PeerIndex next = peer(entry).successor;
+        if (next == kNoPeer || next == entry) return;
+        net_.send(entry, next, TrafficClass::kQuery, proto::kQueryBytes,
+                  [this, next, entry, qid] {
+                    keyword_ring_walk(next, entry, qid);
+                  });
+      },
+      0);
+}
+
+void HybridSystem::keyword_ring_walk(PeerIndex at, PeerIndex stop_at,
+                                     std::uint64_t qid) {
+  auto it = keyword_queries_.find(qid);
+  if (it == keyword_queries_.end()) return;
+  KeywordQuery& q = it->second;
+  const Peer& here = peer(at);
+  if (!here.joined || here.role != Role::kTPeer) return;
+  if (at == stop_at) return;  // full circle
+  if (q.visited.insert(at.value()).second) {
+    ++q.result.peers_contacted;
+    // The t-peer contributes its own matches and floods its s-network.
+    std::vector<std::string> matches;
+    here.store.for_each([&](const proto::DataItem& item) {
+      if (item.key.find(q.substring) != std::string::npos) {
+        matches.push_back(item.key);
+      }
+    });
+    if (!matches.empty()) {
+      net_.send(at, q.origin, TrafficClass::kData, proto::kDataBytes,
+                [this, qid, matches = std::move(matches)] {
+                  auto qit = keyword_queries_.find(qid);
+                  if (qit == keyword_queries_.end()) return;
+                  auto& keys = qit->second.result.keys;
+                  keys.insert(keys.end(), matches.begin(), matches.end());
+                });
+    }
+    keyword_flood(at, kNoPeer, qid, params_.ttl);
+  }
+  const PeerIndex next = here.successor;
+  if (next == kNoPeer || next == at) return;
+  net_.send(at, next, TrafficClass::kQuery, proto::kQueryBytes,
+            [this, next, stop_at, qid] {
+              keyword_ring_walk(next, stop_at, qid);
+            });
+}
+
+void HybridSystem::keyword_flood(PeerIndex at, PeerIndex from,
+                                 std::uint64_t qid, unsigned ttl) {
+  if (ttl == 0) return;
+  for (PeerIndex n : snetwork_neighbors(peer(at))) {
+    if (n == from) continue;
+    net_.send(at, n, TrafficClass::kQuery, proto::kQueryBytes,
+              [this, n, at, qid, ttl] {
+      auto it = keyword_queries_.find(qid);
+      if (it == keyword_queries_.end()) return;
+      KeywordQuery& q = it->second;
+      if (!q.visited.insert(n.value()).second) return;
+      ++q.result.peers_contacted;
+      // Collect local matches and ship them straight to the origin.
+      std::vector<std::string> matches;
+      peer(n).store.for_each([&](const proto::DataItem& item) {
+        if (item.key.find(q.substring) != std::string::npos) {
+          matches.push_back(item.key);
+        }
+      });
+      if (!matches.empty()) {
+        net_.send(n, q.origin, TrafficClass::kData, proto::kDataBytes,
+                  [this, qid, matches = std::move(matches)] {
+                    auto qit = keyword_queries_.find(qid);
+                    if (qit == keyword_queries_.end()) return;
+                    auto& keys = qit->second.result.keys;
+                    keys.insert(keys.end(), matches.begin(), matches.end());
+                  });
+      }
+      keyword_flood(n, at, qid, ttl - 1);
+    });
+  }
+}
+
+void HybridSystem::finish_query(std::uint64_t qid,
+                                proto::LookupResult result) {
+  auto it = queries_.find(qid);
+  if (it == queries_.end() || it->second.finished) return;
+  Query& q = it->second;
+  q.finished = true;
+  sim_.cancel(q.timer);
+  if (!result.success) result.peers_contacted = q.contacted;
+  auto done = std::move(q.done);
+  queries_.erase(it);
+  if (done) done(result);
+}
+
+}  // namespace hp2p::hybrid

@@ -1,0 +1,1239 @@
+// HybridSystem: construction, server logic, join/leave/crash protocols and
+// failure detection (Sections 3.2, 3.3, 5.1, 5.2, 5.3).
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <memory>
+
+#include "hybrid/hybrid_system.hpp"
+
+namespace hp2p::hybrid {
+
+using proto::TrafficClass;
+
+HybridSystem::HybridSystem(proto::OverlayNetwork& network,
+                           HybridParams params, HostIndex server_host,
+                           Rng& rng)
+    : net_(network), sim_(network.simulator()), params_(params), rng_(rng) {
+  // The server occupies a transport endpoint so contacting it costs real
+  // latency; it is not a peer of either overlay.
+  server_ = net_.add_peer(server_host);
+  Peer s;
+  s.self = server_;
+  s.host = server_host;
+  s.is_server = true;
+  peers_.push_back(std::move(s));
+
+  if (params_.topology_aware) {
+    // "Predetermined so that they are uniformly distributed around the
+    // network" (Section 6): evenly spaced host indices.  Host blocks follow
+    // domain order, so equal spacing spreads landmarks across domains.
+    const std::uint32_t hosts = net_.underlay().num_hosts();
+    const std::uint32_t n = std::max(1u, params_.num_landmarks);
+    for (std::uint32_t k = 0; k < n; ++k) {
+      landmarks_.push_back(HostIndex{(k * hosts) / n});
+    }
+  }
+}
+
+// --- Server logic -------------------------------------------------------------
+
+Role HybridSystem::server_pick_role(HostIndex host) {
+  if (registry_.empty()) return Role::kTPeer;  // someone must seed the ring
+  double p_t = 1.0 - params_.ps;
+  if (params_.capacity_aware_roles) {
+    // Section 5.1: bias t-peer roles toward fast access links while keeping
+    // the overall expected t-peer fraction at 1 - p_s (weights average 1).
+    switch (net_.underlay().capacity(host)) {
+      case net::CapacityClass::kLow:
+        p_t *= 0.2;
+        break;
+      case net::CapacityClass::kMedium:
+        p_t *= 1.0;
+        break;
+      case net::CapacityClass::kHigh:
+        p_t *= 1.8;
+        break;
+    }
+  }
+  return rng_.chance(p_t) ? Role::kTPeer : Role::kSPeer;
+}
+
+PeerId HybridSystem::server_generate_pid() {
+  return PeerId{rng_.uniform(0, kRingSize - 1)};
+}
+
+PeerIndex HybridSystem::server_random_tpeer() {
+  if (registry_.empty()) return kNoPeer;
+  auto it = registry_.begin();
+  std::advance(it, static_cast<std::ptrdiff_t>(rng_.index(registry_.size())));
+  return it->second;
+}
+
+void HybridSystem::registry_insert(PeerId pid, PeerIndex t) {
+  registry_[pid.value()] = t;
+}
+
+void HybridSystem::registry_erase(PeerId pid) {
+  registry_.erase(pid.value());
+}
+
+PeerIndex HybridSystem::registry_owner(std::uint64_t id) const {
+  if (registry_.empty()) return kNoPeer;
+  // Owner = first t-peer whose pid >= id (clockwise successor of the id).
+  auto it = registry_.lower_bound(id);
+  if (it == registry_.end()) it = registry_.begin();  // wrap
+  return it->second;
+}
+
+std::uint64_t HybridSystem::coordinate_of(HostIndex host) const {
+  // Landmark binning (Section 5.2).  The full distance-ordered permutation
+  // of the paper's scheme makes nearly every host its own cluster at our
+  // landmark counts (k! permutations), so we bin by the coarsest consistent
+  // prefix: the nearest landmark.  More landmarks => finer clusters, which
+  // preserves the paper's "more landmarks, lower latency" trend.
+  std::size_t best = 0;
+  std::int64_t best_dist = std::numeric_limits<std::int64_t>::max();
+  for (std::size_t i = 0; i < landmarks_.size(); ++i) {
+    const std::int64_t d =
+        net_.underlay().latency(host, landmarks_[i]).as_micros();
+    if (d < best_dist) {
+      best_dist = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+PeerIndex HybridSystem::server_pick_snetwork(PeerIndex joiner) {
+  assert(!registry_.empty());
+  const auto record = [this](PeerIndex t) {
+    // The server counts assignments at assignment time so that a burst of
+    // joins spreads out instead of piling onto one momentarily-small
+    // s-network.
+    ++snetwork_size_[t.value()];
+    return t;
+  };
+  if (params_.interest_based) {
+    // Section 5.3: the first peer of an interest anchors it to the
+    // s-network owning the interest's hash; later same-interest joiners
+    // reuse the mapping, so an interest is never split across s-networks by
+    // ring growth.
+    const std::uint32_t interest = peer(joiner).interest;
+    auto cached = interest_snetwork_.find(interest);
+    if (cached != interest_snetwork_.end()) {
+      const PeerIndex t = cached->second;
+      if (peer(t).joined && net_.alive(t)) return record(t);
+      // The anchor t-peer left; re-resolve (a promotion keeps the pid, so
+      // registry_owner finds the heir).
+      interest_snetwork_.erase(cached);
+    }
+    const std::uint64_t anchor = mix64(interest) & (kRingSize - 1);
+    const PeerIndex t = registry_owner(anchor);
+    interest_snetwork_[interest] = t;
+    return record(t);
+  }
+  if (params_.topology_aware) {
+    // Section 5.2: peers of one latency cluster share s-networks.  The
+    // whole point is that the *t-peer too* sits inside the cluster --
+    // otherwise every hop entering or leaving the tree still crosses the
+    // network -- so prefer t-peers whose host bins to the same landmark,
+    // round-robin among them for balance.
+    const std::uint64_t cluster = coordinate_of(peer(joiner).host);
+    std::vector<PeerIndex> same_cluster;
+    for (const auto& [pid, t] : registry_) {
+      if (coordinate_of(peer(t).host) == cluster) same_cluster.push_back(t);
+    }
+    std::size_t& cursor = assignment_cursor_[cluster];
+    if (!same_cluster.empty()) {
+      return record(same_cluster[cursor++ % same_cluster.size()]);
+    }
+    // No t-peer in this cluster: fall back to a stride-spaced round-robin
+    // so the cluster at least stays together on a few s-networks.
+    const std::size_t t_count = registry_.size();
+    const std::size_t stride = std::max<std::size_t>(1, landmarks_.size());
+    const std::size_t slot = (mix64(cluster) + cursor * stride) % t_count;
+    ++cursor;
+    auto it = registry_.begin();
+    std::advance(it, static_cast<std::ptrdiff_t>(slot));
+    return record(it->second);
+  }
+  // Default (Section 3.2.2): the s-network with the smallest size.
+  PeerIndex best = kNoPeer;
+  std::size_t best_size = ~std::size_t{0};
+  for (const auto& [pid, t] : registry_) {
+    const auto it = snetwork_size_.find(t.value());
+    const std::size_t size = it == snetwork_size_.end() ? 0 : it->second;
+    if (size < best_size) {
+      best_size = size;
+      best = t;
+    }
+  }
+  return record(best);
+}
+
+// --- Peer admission -----------------------------------------------------------
+
+PeerIndex HybridSystem::add_peer(HostIndex host, JoinCallback done) {
+  // Role decided at the server; we pre-register the endpoint, then the
+  // request message travels to the server.
+  const PeerIndex i = net_.add_peer(host);
+  Peer p;
+  p.self = i;
+  p.host = host;
+  p.interest = static_cast<std::uint32_t>(rng_.index(params_.num_interests));
+  peers_.push_back(std::move(p));
+
+  const sim::SimTime started = sim_.now();
+  net_.send(i, server_, TrafficClass::kControl, proto::kControlBytes,
+            [this, i, host, started, done = std::move(done)]() mutable {
+              const Role role = server_pick_role(host);
+              peer(i).role = role;
+              if (role == Role::kTPeer) {
+                start_tpeer_join(i, started, std::move(done));
+              } else {
+                start_speer_join(i, server_pick_snetwork(i), started,
+                                 std::move(done));
+              }
+            });
+  return i;
+}
+
+PeerIndex HybridSystem::add_peer_with_role(HostIndex host, Role role,
+                                           JoinCallback done) {
+  return add_peer_with_interest(
+      host, role,
+      static_cast<std::uint32_t>(rng_.index(params_.num_interests)),
+      std::move(done));
+}
+
+PeerIndex HybridSystem::add_peer_with_interest(HostIndex host, Role role,
+                                               std::uint32_t interest,
+                                               JoinCallback done) {
+  const PeerIndex i = net_.add_peer(host);
+  Peer p;
+  p.self = i;
+  p.host = host;
+  p.role = role;
+  p.interest = interest;
+  peers_.push_back(std::move(p));
+
+  const sim::SimTime started = sim_.now();
+  net_.send(i, server_, TrafficClass::kControl, proto::kControlBytes,
+            [this, i, role, started, done = std::move(done)]() mutable {
+              if (role == Role::kTPeer || registry_.empty()) {
+                peer(i).role = Role::kTPeer;
+                start_tpeer_join(i, started, std::move(done));
+              } else {
+                start_speer_join(i, server_pick_snetwork(i), started,
+                                 std::move(done));
+              }
+            });
+  return i;
+}
+
+// --- T-peer join (Sections 3.2.1 and 3.3) ---------------------------------------
+
+void HybridSystem::start_tpeer_join(PeerIndex joiner, sim::SimTime started,
+                                    JoinCallback done) {
+  Peer& n = peer(joiner);
+  n.pid = server_generate_pid();
+  n.fingers.init(n.pid);
+  n.tpeer = joiner;
+
+  if (registry_.empty()) {
+    // First node: a one-peer ring.
+    n.successor = joiner;
+    n.successor_id = n.pid;
+    n.predecessor = joiner;
+    n.predecessor_id = n.pid;
+    registry_insert(n.pid, joiner);
+    snetwork_size_[joiner.value()] = 0;
+    // Server informs the peer it is the seed (one reply message).
+    net_.send(server_, joiner, TrafficClass::kControl, proto::kControlBytes,
+              [this, joiner, started, done = std::move(done)] {
+                peer(joiner).joined = true;
+                if (failure_detection_) heartbeat_tick(joiner);
+                if (done) done(proto::JoinResult{sim_.now() - started, 1});
+              });
+    return;
+  }
+
+  const PeerIndex bootstrap = server_random_tpeer();
+  // Server replies with the bootstrap address; joiner sends the join
+  // request to it; the request walks the ring.
+  net_.send(server_, joiner, TrafficClass::kControl, proto::kControlBytes,
+            [this, joiner, bootstrap, started, done = std::move(done)]() mutable {
+              net_.send(joiner, bootstrap, TrafficClass::kControl,
+                        proto::kControlBytes,
+                        [this, bootstrap, joiner, started,
+                         done = std::move(done)]() mutable {
+                          route_tjoin(bootstrap, joiner, 1, started,
+                                      std::move(done));
+                        });
+            });
+}
+
+void HybridSystem::route_tjoin(PeerIndex at, PeerIndex joiner,
+                               std::uint32_t hops, sim::SimTime started,
+                               JoinCallback done) {
+  Peer& here = peer(at);
+  if (!here.joined || here.role != Role::kTPeer) {
+    // The walk hit a peer that just left; restart from the server's view.
+    const PeerIndex retry = server_random_tpeer();
+    if (retry == kNoPeer) return;
+    net_.send(at, retry, TrafficClass::kControl, proto::kControlBytes,
+              [this, retry, joiner, hops, started, done = std::move(done)]() mutable {
+                route_tjoin(retry, joiner, hops + 1, started, std::move(done));
+              });
+    return;
+  }
+  const std::uint64_t target = peer(joiner).pid.value();
+  // `at` is the insertion predecessor when the target lies in
+  // (at, at.successor]; equality with the successor id is the conflict case
+  // resolved inside the triangle.
+  if (here.successor == at ||
+      ring::in_arc_open_closed(target, here.pid.value(),
+                               here.successor_id.value())) {
+    tjoin_at_pre(at, PendingJoin{joiner, hops, started, std::move(done)});
+    return;
+  }
+  PeerIndex next = here.successor;
+  if (params_.t_routing == TRouting::kFinger) {
+    const chord::Finger f = here.fingers.closest_preceding(target);
+    if (f.node != kNoPeer && f.node != at) next = f.node;
+  }
+  net_.send(at, next, TrafficClass::kControl, proto::kControlBytes,
+            [this, next, joiner, hops, started, done = std::move(done)]() mutable {
+              route_tjoin(next, joiner, hops + 1, started, std::move(done));
+            });
+}
+
+void HybridSystem::tjoin_at_pre(PeerIndex pre, PendingJoin req) {
+  Peer& p = peer(pre);
+  if (p.joining_mutex || p.leaving_mutex) {
+    // Section 3.3: serialize -- queue behind the in-flight operation.
+    p.pending_joins.push_back(std::move(req));
+    return;
+  }
+  run_join_triangle(pre, std::move(req));
+}
+
+void HybridSystem::run_join_triangle(PeerIndex pre, PendingJoin req) {
+  Peer& p = peer(pre);
+  p.joining_mutex = true;
+  Peer& n = peer(req.joiner);
+
+  // Id-conflict resolution (pre.check of Table 1): midpoint of the arc.
+  if (n.pid == p.pid || n.pid == p.successor_id) {
+    n.pid = PeerId{ring::midpoint_cw(p.pid.value(), p.successor_id.value())};
+    n.fingers.init(n.pid);
+    if (n.pid == p.pid) {
+      // Arc of size < 2: nowhere to insert; retry with a fresh random id.
+      p.joining_mutex = false;
+      n.pid = server_generate_pid();
+      n.fingers.init(n.pid);
+      route_tjoin(pre, req.joiner, req.hops, req.started, std::move(req.done));
+      return;
+    }
+  }
+
+  const PeerIndex suc = p.successor;
+  const PeerId suc_id = p.successor_id;
+  const PeerIndex joiner = req.joiner;
+
+  // Join triangle (Fig. 2): pre -> new (successor address), new -> suc
+  // (adopt me as predecessor), suc -> pre (ack; pre flips its successor).
+  net_.send(pre, joiner, TrafficClass::kControl, proto::kControlBytes,
+            [this, pre, joiner, suc, suc_id,
+             req = std::make_shared<PendingJoin>(std::move(req))]() mutable {
+    Peer& nn = peer(joiner);
+    nn.successor = suc;
+    nn.successor_id = suc_id;
+    nn.predecessor = pre;
+    nn.predecessor_id = peer(pre).pid;
+    net_.send(joiner, suc, TrafficClass::kControl, proto::kControlBytes,
+              [this, pre, joiner, suc, req] {
+      Peer& s = peer(suc);
+      const PeerId old_pred_id = s.predecessor_id;
+      s.predecessor = joiner;
+      s.predecessor_id = peer(joiner).pid;
+      // Load transfer (suc.loadtransfer of Table 1): every member of suc's
+      // s-network hands over items now owned by the joiner,
+      // i.e. d_id in (old predecessor, joiner].
+      const PeerId lo = old_pred_id;
+      const PeerId hi = peer(joiner).pid;
+      for (PeerIndex member : snetwork_members(suc)) {
+        auto items = peer(member).store.extract_arc(lo, hi);
+        if (items.empty()) continue;
+        net_.send(member, joiner, TrafficClass::kData,
+                  proto::kDataBytes * static_cast<std::uint32_t>(items.size()),
+                  [this, joiner, items = std::move(items)]() mutable {
+                    for (auto& item : items) {
+                      peer(joiner).store.insert(std::move(item));
+                    }
+                  });
+      }
+      net_.send(suc, pre, TrafficClass::kControl, proto::kControlBytes,
+                [this, pre, joiner, req] {
+        Peer& pp = peer(pre);
+        Peer& nn2 = peer(joiner);
+        pp.successor = joiner;
+        pp.successor_id = nn2.pid;
+        nn2.joined = true;
+        registry_insert(nn2.pid, joiner);
+        snetwork_size_[joiner.value()] = 0;
+        if (failure_detection_) heartbeat_tick(joiner);
+        if (req->done) {
+          req->done(proto::JoinResult{sim_.now() - req->started, req->hops});
+        }
+        pp.joining_mutex = false;
+        process_pending_joins(pre);
+      });
+    });
+  });
+}
+
+void HybridSystem::process_pending_joins(PeerIndex pre) {
+  Peer& p = peer(pre);
+  if (p.joining_mutex || p.leaving_mutex || p.pending_joins.empty()) return;
+  // Drain the whole queue, re-routing each request: a queued joiner may now
+  // belong to a different arc (another peer was inserted meanwhile), and a
+  // request that re-routes away must not strand the ones behind it.  A
+  // request that still belongs here starts a triangle and the rest re-queue.
+  std::deque<PendingJoin> drained = std::move(p.pending_joins);
+  p.pending_joins.clear();
+  for (auto& next : drained) {
+    route_tjoin(pre, next.joiner, next.hops, next.started,
+                std::move(next.done));
+  }
+}
+
+// --- S-peer join (Section 3.2.2) -------------------------------------------------
+
+void HybridSystem::start_speer_join(PeerIndex joiner, PeerIndex target_tpeer,
+                                    sim::SimTime started, JoinCallback done) {
+  if (target_tpeer == kNoPeer) return;  // no s-network exists (ps misuse)
+  // Server reply (t-peer address), then the join request enters the tree.
+  net_.send(server_, joiner, TrafficClass::kControl, proto::kControlBytes,
+            [this, joiner, target_tpeer, started, done = std::move(done)]() mutable {
+              net_.send(joiner, target_tpeer, TrafficClass::kControl,
+                        proto::kControlBytes,
+                        [this, target_tpeer, joiner, started,
+                         done = std::move(done)]() mutable {
+                          descend_sjoin(target_tpeer, joiner, 1, started,
+                                        std::move(done));
+                        });
+            });
+}
+
+unsigned HybridSystem::tree_degree(const Peer& p) const {
+  // Tree links only: bypass links are soft state with their own budget
+  // (see maybe_add_bypass) and must not starve child admission.
+  unsigned deg = static_cast<unsigned>(p.children.size());
+  if (p.cp != kNoPeer) ++deg;
+  return deg;
+}
+
+bool HybridSystem::accepts_child(const Peer& p) const {
+  if (params_.style == SNetworkStyle::kStar ||
+      params_.style == SNetworkStyle::kBitTorrent) {
+    // Star/tracker topologies: the t-peer takes everyone.
+    return p.role == Role::kTPeer;
+  }
+  unsigned limit = params_.delta;
+  if (params_.link_usage_connect) {
+    // Section 5.1: accept while link usage (degree / capacity) stays low --
+    // equivalently scale the degree cap with the capacity class.
+    switch (net_.underlay().capacity(p.host)) {
+      case net::CapacityClass::kLow:
+        break;
+      case net::CapacityClass::kMedium:
+        limit *= 2;
+        break;
+      case net::CapacityClass::kHigh:
+        limit *= 3;
+        break;
+    }
+  }
+  return tree_degree(p) < limit;
+}
+
+void HybridSystem::descend_sjoin(PeerIndex at, PeerIndex joiner,
+                                 std::uint32_t hops, sim::SimTime started,
+                                 JoinCallback done) {
+  Peer& here = peer(at);
+  if (!here.joined && here.role != Role::kTPeer) {
+    // Connect point vanished mid-join; restart from the server.
+    start_speer_join(joiner, server_pick_snetwork(joiner), started,
+                     std::move(done));
+    return;
+  }
+  const bool mesh = params_.style == SNetworkStyle::kMesh;
+  if (!mesh && !accepts_child(here) && !here.children.empty()) {
+    // Degree cap reached: pass the request down a random branch (FCFS per
+    // Section 3.3 -- each message is processed atomically in the DES).
+    const PeerIndex next = here.children[rng_.index(here.children.size())];
+    net_.send(at, next, TrafficClass::kControl, proto::kControlBytes,
+              [this, next, joiner, hops, started, done = std::move(done)]() mutable {
+                descend_sjoin(next, joiner, hops + 1, started,
+                              std::move(done));
+              });
+    return;
+  }
+
+  // Accept here: `at` becomes the joiner's connect point.
+  here.children.push_back(joiner);
+  const PeerIndex root = here.tpeer;
+  net_.send(at, joiner, TrafficClass::kControl, proto::kControlBytes,
+            [this, at, joiner, root, hops, started, done = std::move(done)] {
+              Peer& n = peer(joiner);
+              n.cp = at;
+              n.tpeer = root;
+              n.pid = peer(root).pid;  // s-peers share the t-peer's p_id
+              n.joined = true;
+              // A rejoining orphan brings its subtree along; everyone below
+              // must learn the (possibly new) root.
+              std::vector<PeerIndex> frontier = n.children;
+              while (!frontier.empty()) {
+                std::vector<PeerIndex> next_level;
+                for (PeerIndex m : frontier) {
+                  net_.send(joiner, m, TrafficClass::kControl,
+                            proto::kControlBytes, [this, m, root] {
+                              Peer& mm = peer(m);
+                              mm.tpeer = root;
+                              mm.pid = peer(root).pid;
+                            });
+                  for (PeerIndex c : peer(m).children) next_level.push_back(c);
+                }
+                frontier = std::move(next_level);
+              }
+              note_heard(joiner, at);
+              note_heard(at, joiner);
+              if (failure_detection_) heartbeat_tick(joiner);
+              if (params_.style == SNetworkStyle::kMesh) {
+                // Wire extra random in-network links.
+                auto members = snetwork_members(root);
+                rng_.shuffle(members);
+                unsigned added = 0;
+                for (PeerIndex m : members) {
+                  if (added >= params_.mesh_links) break;
+                  if (m == joiner || m == at) continue;
+                  peer(joiner).mesh_links.push_back(m);
+                  peer(m).mesh_links.push_back(joiner);
+                  ++added;
+                }
+              }
+              if (done) done(proto::JoinResult{sim_.now() - started, hops});
+            });
+}
+
+// --- Leave / crash ---------------------------------------------------------------
+
+void HybridSystem::leave(PeerIndex leaving) {
+  Peer& p = peer(leaving);
+  if (!p.joined || p.is_server) return;
+  if (p.role == Role::kTPeer) {
+    tpeer_leave(leaving);
+  } else {
+    speer_leave(leaving);
+  }
+}
+
+void HybridSystem::speer_leave(PeerIndex leaving) {
+  Peer& p = peer(leaving);
+  p.joined = false;
+  const PeerIndex root = p.tpeer;
+  if (snetwork_size_.count(root.value()) != 0 &&
+      snetwork_size_[root.value()] > 0) {
+    --snetwork_size_[root.value()];
+  }
+
+  // Transfer load to a neighbour (Section 3.2.2): prefer the connect point.
+  PeerIndex heir = p.cp != kNoPeer ? p.cp
+                   : !p.children.empty() ? p.children.front()
+                                         : root;
+  auto items = p.store.extract_all();
+  if (!items.empty() && heir != kNoPeer && heir != leaving) {
+    net_.send(leaving, heir, TrafficClass::kData,
+              proto::kDataBytes * static_cast<std::uint32_t>(items.size()),
+              [this, heir, items = std::move(items)]() mutable {
+                for (auto& item : items) peer(heir).store.insert(std::move(item));
+              });
+  }
+  detach_from_tree(leaving, /*notify_children=*/true);
+  net_.set_alive(leaving, false);
+}
+
+void HybridSystem::detach_from_tree(PeerIndex p_idx, bool notify_children) {
+  Peer& p = peer(p_idx);
+  if (p.cp != kNoPeer) {
+    const PeerIndex parent = p.cp;
+    net_.send(p_idx, parent, TrafficClass::kControl, proto::kControlBytes,
+              [this, parent, p_idx] {
+                auto& kids = peer(parent).children;
+                kids.erase(std::remove(kids.begin(), kids.end(), p_idx),
+                           kids.end());
+              });
+  }
+  if (notify_children) {
+    for (PeerIndex child : p.children) {
+      net_.send(p_idx, child, TrafficClass::kControl, proto::kControlBytes,
+                [this, child] { rejoin_subtree(child); });
+    }
+  }
+  for (PeerIndex m : p.mesh_links) {
+    net_.send(p_idx, m, TrafficClass::kControl, proto::kControlBytes,
+              [this, m, p_idx] {
+                auto& links = peer(m).mesh_links;
+                links.erase(std::remove(links.begin(), links.end(), p_idx),
+                            links.end());
+              });
+  }
+  p.children.clear();
+  p.mesh_links.clear();
+  p.cp = kNoPeer;
+  p.bypass.clear();
+}
+
+void HybridSystem::rejoin_subtree(PeerIndex child) {
+  Peer& c = peer(child);
+  if (!c.joined || !net_.alive(child)) return;
+  c.cp = kNoPeer;
+  const PeerIndex root = c.tpeer;
+  if (root == kNoPeer || !peer(root).joined || !net_.alive(root)) {
+    // The whole s-network lost its root; fall back to the server.
+    net_.send(child, server_, TrafficClass::kControl, proto::kControlBytes,
+              [this, child, root] { server_handle_compete(child, root); });
+    return;
+  }
+  // The subtree stays attached below `child`; only `child` finds a new
+  // connect point, rejoining via the t-peer (Section 3.2.2).  The server's
+  // assignment count is unchanged: the peer stays in the same s-network.
+  net_.send(child, root, TrafficClass::kControl, proto::kControlBytes,
+            [this, root, child] {
+              peer(child).joined = false;  // re-enters via descend
+              descend_sjoin(root, child, 1, sim_.now(), {});
+            });
+}
+
+void HybridSystem::tpeer_leave(PeerIndex leaving) {
+  Peer& p = peer(leaving);
+  if (p.joining_mutex || !p.pending_joins.empty()) {
+    // Section 3.3: a leaving peer must first drain its join queue.
+    p.leaving_mutex = true;  // refuse *new* joins while draining
+    sim_.schedule_after(sim::SimTime::millis(10),
+                        [this, leaving] {
+                          peer(leaving).leaving_mutex = false;
+                          process_pending_joins(leaving);
+                          sim_.schedule_after(sim::SimTime::millis(50),
+                                              [this, leaving] {
+                                                tpeer_leave(leaving);
+                                              });
+                        });
+    return;
+  }
+  p.leaving_mutex = true;
+
+  // Pick uniformly at random among the live members (Table 1: "pick a
+  // s-peer randomly").
+  std::vector<PeerIndex> live;
+  for (PeerIndex m : snetwork_members(leaving)) {
+    if (m != leaving && peer(m).joined && net_.alive(m)) live.push_back(m);
+  }
+  const PeerIndex heir =
+      live.empty() ? kNoPeer : live[rng_.index(live.size())];
+
+  if (heir == kNoPeer) {
+    ring_leave(leaving);
+    return;
+  }
+  promote_speer(heir, leaving, /*with_data=*/true);
+}
+
+void HybridSystem::promote_speer(PeerIndex heir, PeerIndex old_t,
+                                 bool with_data) {
+  Peer& h = peer(heir);
+  Peer& o = peer(old_t);
+
+  // Heir steps out of its tree slot, keeping its own subtree.
+  if (h.cp != kNoPeer && h.cp != old_t) {
+    const PeerIndex parent = h.cp;
+    auto& kids = peer(parent).children;
+    kids.erase(std::remove(kids.begin(), kids.end(), heir), kids.end());
+  }
+  if (h.cp == old_t) {
+    auto& kids = o.children;
+    kids.erase(std::remove(kids.begin(), kids.end(), heir), kids.end());
+  }
+  h.cp = kNoPeer;
+
+  // Role transfer: pid, ring pointers, finger table (Section 3.2.1).
+  h.role = Role::kTPeer;
+  h.pid = o.pid;
+  h.tpeer = heir;
+  if (with_data || o.joined) {
+    h.successor = (o.successor == old_t) ? heir : o.successor;
+    h.successor_id = o.successor_id;
+    h.predecessor = (o.predecessor == old_t) ? heir : o.predecessor;
+    h.predecessor_id = o.predecessor_id;
+    h.fingers = o.fingers;
+  } else {
+    // Crash replacement: ring neighbors come from the server registry.
+    h.fingers.init(h.pid);
+    auto it = registry_.find(h.pid.value());
+    if (it != registry_.end()) {
+      auto next = std::next(it) == registry_.end() ? registry_.begin()
+                                                   : std::next(it);
+      auto prev = it == registry_.begin() ? std::prev(registry_.end())
+                                          : std::prev(it);
+      h.successor = next->second == old_t ? heir : next->second;
+      h.successor_id = peer(h.successor).pid;
+      h.predecessor = prev->second == old_t ? heir : prev->second;
+      h.predecessor_id = peer(h.predecessor).pid;
+    } else {
+      h.successor = heir;
+      h.successor_id = h.pid;
+      h.predecessor = heir;
+      h.predecessor_id = h.pid;
+    }
+  }
+
+  // On a graceful handover the old root's remaining children re-parent onto
+  // the heir.  After a crash the heir cannot read the dead peer's neighbor
+  // list: the orphans discover the crash themselves and rejoin via the
+  // server competition.
+  if (with_data) {
+    for (PeerIndex child : o.children) {
+      if (child == heir) continue;
+      h.children.push_back(child);
+      net_.send(old_t, child, TrafficClass::kControl, proto::kControlBytes,
+                [this, child, heir] { peer(child).cp = heir; });
+    }
+  }
+  o.children.clear();
+
+  // Ring neighbors adopt the heir.
+  if (h.successor != heir) {
+    const PeerIndex suc = h.successor;
+    net_.send(heir, suc, TrafficClass::kControl, proto::kControlBytes,
+              [this, suc, heir] {
+                Peer& s = peer(suc);
+                s.predecessor = heir;
+                s.predecessor_id = peer(heir).pid;
+              });
+  }
+  if (h.predecessor != heir) {
+    const PeerIndex pre = h.predecessor;
+    net_.send(heir, pre, TrafficClass::kControl, proto::kControlBytes,
+              [this, pre, heir] {
+                Peer& pp = peer(pre);
+                pp.successor = heir;
+                pp.successor_id = peer(heir).pid;
+              });
+  }
+
+  // Data load moves with the role on a graceful handover.
+  if (with_data) {
+    auto items = o.store.extract_all();
+    if (!items.empty()) {
+      net_.send(old_t, heir, TrafficClass::kData,
+                proto::kDataBytes * static_cast<std::uint32_t>(items.size()),
+                [this, heir, items = std::move(items)]() mutable {
+                  for (auto& item : items) peer(heir).store.insert(std::move(item));
+                });
+    }
+    // Pending join requests and the tracker index (BitTorrent-style
+    // s-networks) transfer with the ring position.
+    h.pending_joins = std::move(o.pending_joins);
+    o.pending_joins.clear();
+    h.tracker_index = std::move(o.tracker_index);
+    o.tracker_index.clear();
+  }
+
+  registry_insert(h.pid, heir);
+  snetwork_size_[heir.value()] =
+      snetwork_size_.count(old_t.value()) != 0 &&
+              snetwork_size_[old_t.value()] > 0
+          ? snetwork_size_[old_t.value()] - 1
+          : 0;
+  snetwork_size_.erase(old_t.value());
+  broadcast_substitution(old_t, heir);
+
+  // Everyone below the heir learns the new root (tpeer pointer refresh).
+  std::vector<PeerIndex> frontier = h.children;
+  while (!frontier.empty()) {
+    std::vector<PeerIndex> next;
+    for (PeerIndex m : frontier) {
+      net_.send(heir, m, TrafficClass::kControl, proto::kControlBytes,
+                [this, m, heir] { peer(m).tpeer = heir; });
+      for (PeerIndex c : peer(m).children) next.push_back(c);
+    }
+    frontier = std::move(next);
+  }
+
+  if (with_data) {
+    Peer& old_ref = peer(old_t);
+    old_ref.joined = false;
+    old_ref.leaving_mutex = false;
+    net_.set_alive(old_t, false);
+  }
+  if (failure_detection_) heartbeat_tick(heir);
+  process_pending_joins(heir);
+}
+
+void HybridSystem::ring_leave(PeerIndex leaving) {
+  Peer& p = peer(leaving);
+  const PeerIndex pre = p.predecessor;
+  const PeerIndex suc = p.successor;
+  registry_erase(p.pid);
+  snetwork_size_.erase(leaving.value());
+
+  if (suc == leaving || registry_.empty()) {
+    // Last t-peer: the system empties.
+    p.joined = false;
+    net_.set_alive(leaving, false);
+    return;
+  }
+
+  // Leave triangle (Fig. 2): leaving -> pre (successor address),
+  // pre -> suc (identity check), suc -> leaving (completion).
+  net_.send(leaving, pre, TrafficClass::kControl, proto::kControlBytes,
+            [this, leaving] { ring_leave_wait_pre(leaving); });
+  broadcast_substitution(leaving, kNoPeer);
+}
+
+void HybridSystem::ring_leave_wait_pre(PeerIndex leaving) {
+  // Section 3.3: a peer that is itself mid-join or mid-leave does not
+  // accept leave requests, so the triangle defers.  Neighbours are resolved
+  // afresh on every attempt: a concurrent leave may have rewired
+  // `leaving`'s predecessor/successor while we waited.
+  Peer& me = peer(leaving);
+  if (me.successor == leaving || registry_.empty()) {
+    // Everyone else left while we waited: the ring collapses to us alone.
+    me.joined = false;
+    me.leaving_mutex = false;
+    net_.set_alive(leaving, false);
+    return;
+  }
+  const PeerIndex pre = me.predecessor;
+  const Peer& pp = peer(pre);
+  const bool mutual_leave_tiebreak =
+      pp.leaving_mutex && pp.predecessor == leaving &&
+      pre.value() > leaving.value();
+  if ((pp.joining_mutex || pp.leaving_mutex || !pp.joined) &&
+      !mutual_leave_tiebreak) {
+    sim_.schedule_after(sim::SimTime::millis(20),
+                        [this, leaving] { ring_leave_wait_pre(leaving); });
+    return;
+  }
+  ring_leave_step2(pre, me.successor, me.successor_id, leaving,
+                   me.predecessor_id);
+}
+
+void HybridSystem::ring_leave_step2(PeerIndex pre, PeerIndex suc,
+                                    PeerId suc_id, PeerIndex leaving,
+                                    PeerId pre_id) {
+  {
+    Peer& pp = peer(pre);
+    pp.successor = suc;
+    pp.successor_id = suc_id;
+    net_.send(pre, suc, TrafficClass::kControl, proto::kControlBytes,
+              [this, suc, leaving, pre, pre_id] {
+      Peer& s = peer(suc);
+      // Only flip when the leaving peer really is our predecessor.
+      if (s.predecessor == leaving) {
+        s.predecessor = pre;
+        s.predecessor_id = pre_id;
+      }
+      net_.send(suc, leaving, TrafficClass::kControl, proto::kControlBytes,
+                [this, leaving, suc] {
+                  // loaddump(): everything to the successor, then go dark.
+                  Peer& lp = peer(leaving);
+                  auto items = lp.store.extract_all();
+                  if (!items.empty()) {
+                    net_.send(leaving, suc, TrafficClass::kData,
+                              proto::kDataBytes *
+                                  static_cast<std::uint32_t>(items.size()),
+                              [this, suc, items = std::move(items)]() mutable {
+                                for (auto& item : items) {
+                                  peer(suc).store.insert(std::move(item));
+                                }
+                              });
+                  }
+                  lp.joined = false;
+                  lp.leaving_mutex = false;
+                  net_.set_alive(leaving, false);
+                });
+    });
+  }
+}
+
+void HybridSystem::broadcast_substitution(PeerIndex old_t, PeerIndex new_t) {
+  // The server pushes the substitution to every t-peer: with an s-peer
+  // promoted in place, "other t-peers only need to substitute the leaving
+  // t-peer with the new t-peer in the finger table" (Section 3.2.1).
+  for (const auto& [pid, t] : registry_) {
+    if (t == old_t || t == new_t) continue;
+    net_.send(server_, t, TrafficClass::kControl, proto::kControlBytes,
+              [this, t, old_t, new_t] {
+                Peer& tp = peer(t);
+                if (new_t != kNoPeer) {
+                  tp.fingers.substitute(old_t, new_t, peer(new_t).pid);
+                  if (tp.successor == old_t) {
+                    tp.successor = new_t;
+                    tp.successor_id = peer(new_t).pid;
+                  }
+                  if (tp.predecessor == old_t) {
+                    tp.predecessor = new_t;
+                    tp.predecessor_id = peer(new_t).pid;
+                  }
+                } else {
+                  tp.fingers.evict(old_t);
+                }
+              });
+  }
+}
+
+void HybridSystem::crash(PeerIndex crashing) {
+  Peer& p = peer(crashing);
+  if (p.is_server) return;
+  p.joined = false;
+  net_.set_alive(crashing, false);
+  // Nothing else happens here: the data is gone, neighbors find out via
+  // HELLO timeouts (when failure detection runs), and the server replaces
+  // crashed t-peers when orphans compete.
+}
+
+void HybridSystem::server_handle_compete(PeerIndex orphan,
+                                         PeerIndex dead_tpeer) {
+  if (dead_tpeer == kNoPeer) return;
+  if (!net_.alive(orphan) || !peer(orphan).joined) return;
+  if (net_.alive(dead_tpeer) && peer(dead_tpeer).joined) {
+    // False alarm (the server can reach the t-peer): the orphan simply
+    // rejoins its own s-network.
+    net_.send(server_, orphan, TrafficClass::kControl, proto::kControlBytes,
+              [this, orphan] { rejoin_subtree(orphan); });
+    return;
+  }
+  if (replaced_tpeers_.insert(dead_tpeer.value()).second) {
+    // First competitor wins (the paper: random pick or smallest address --
+    // message arrival order is our arrival-time tiebreak).
+    registry_erase(peer(dead_tpeer).pid);
+    registry_insert(peer(dead_tpeer).pid, orphan);  // heir takes the slot
+    net_.send(server_, orphan, TrafficClass::kControl, proto::kControlBytes,
+              [this, orphan, dead_tpeer] {
+                detach_from_tree(orphan, /*notify_children=*/false);
+                promote_speer(orphan, dead_tpeer, /*with_data=*/false);
+              });
+  } else {
+    // Someone already replaced it; this orphan rejoins under the heir.
+    const PeerIndex heir = registry_owner(peer(dead_tpeer).pid.value());
+    if (heir == kNoPeer) return;
+    net_.send(server_, orphan, TrafficClass::kControl, proto::kControlBytes,
+              [this, orphan, heir] {
+                Peer& o = peer(orphan);
+                o.cp = kNoPeer;
+                o.tpeer = heir;
+                o.joined = false;
+                descend_sjoin(heir, orphan, 1, sim_.now(), {});
+              });
+  }
+}
+
+void HybridSystem::server_handle_ring_repair(PeerIndex reporter,
+                                             PeerIndex dead) {
+  if (!replaced_tpeers_.insert(dead.value()).second) return;
+  const PeerId dead_pid = peer(dead).pid;
+  registry_erase(dead_pid);
+  if (registry_.empty()) return;
+  // Reconnect the dead peer's ring neighbors directly.
+  const PeerIndex suc = registry_owner(dead_pid.value());
+  auto it = registry_.lower_bound(dead_pid.value());
+  auto prev = it == registry_.begin() ? std::prev(registry_.end())
+                                      : std::prev(it);
+  const PeerIndex pre = prev->second;
+  if (pre == kNoPeer || suc == kNoPeer) return;
+  net_.send(server_, pre, TrafficClass::kControl, proto::kControlBytes,
+            [this, pre, suc] {
+              Peer& pp = peer(pre);
+              pp.successor = suc;
+              pp.successor_id = peer(suc).pid;
+            });
+  net_.send(server_, suc, TrafficClass::kControl, proto::kControlBytes,
+            [this, suc, pre] {
+              Peer& s = peer(suc);
+              s.predecessor = pre;
+              s.predecessor_id = peer(pre).pid;
+            });
+  broadcast_substitution(dead, kNoPeer);
+  (void)reporter;
+}
+
+// --- Failure detection (Section 3.2.2) --------------------------------------------
+
+std::vector<PeerIndex> HybridSystem::link_neighbors(const Peer& p) const {
+  std::vector<PeerIndex> out;
+  if (p.cp != kNoPeer) out.push_back(p.cp);
+  out.insert(out.end(), p.children.begin(), p.children.end());
+  out.insert(out.end(), p.mesh_links.begin(), p.mesh_links.end());
+  if (p.role == Role::kTPeer && p.joined) {
+    if (p.successor != kNoPeer && p.successor != p.self) {
+      out.push_back(p.successor);
+    }
+    if (p.predecessor != kNoPeer && p.predecessor != p.self &&
+        p.predecessor != p.successor) {
+      out.push_back(p.predecessor);
+    }
+  }
+  return out;
+}
+
+void HybridSystem::start_failure_detection() {
+  failure_detection_ = true;
+  for (Peer& p : peers_) {
+    if (p.is_server || !p.joined) continue;
+    // Liveness stamps recorded during the build (join-time handshakes) are
+    // stale by now; reset so the first detection epoch starts clean instead
+    // of firing false timeouts.
+    p.last_heard.clear();
+    p.last_sent.clear();
+    heartbeat_tick(p.self);
+  }
+}
+
+void HybridSystem::heartbeat_tick(PeerIndex p_idx) {
+  Peer& entry = peer(p_idx);
+  if (entry.heartbeat_running) return;  // one loop per peer
+  entry.heartbeat_running = true;
+  heartbeat_step(p_idx);
+}
+
+void HybridSystem::heartbeat_step(PeerIndex p_idx) {
+  Peer& p = peer(p_idx);
+  if (!net_.alive(p_idx)) {
+    p.heartbeat_running = false;
+    return;
+  }
+  const sim::SimTime now = sim_.now();
+  for (PeerIndex n : link_neighbors(p)) {
+    // Timeout check first.
+    auto heard = p.last_heard.find(n.value());
+    if (heard == p.last_heard.end()) {
+      p.last_heard[n.value()] = now;
+    } else if (now - heard->second > params_.hello_timeout) {
+      on_neighbor_dead(p_idx, n);
+      continue;
+    }
+    // HELLO suppression: recent acknowledgment traffic substitutes for the
+    // scheduled HELLO (the ack/suppress timers of Section 3.2.2).
+    auto sent = p.last_sent.find(n.value());
+    if (sent != p.last_sent.end() &&
+        now - sent->second < params_.hello_interval) {
+      continue;
+    }
+    p.last_sent[n.value()] = now;
+    net_.send(p_idx, n, TrafficClass::kHeartbeat, proto::kHeartbeatBytes,
+              [this, n, p_idx] { note_heard(n, p_idx); });
+  }
+  sim_.schedule_after(params_.hello_interval,
+                      [this, p_idx] { heartbeat_step(p_idx); });
+}
+
+void HybridSystem::note_heard(PeerIndex at, PeerIndex from) {
+  peer(at).last_heard[from.value()] = sim_.now();
+}
+
+void HybridSystem::maybe_ack(PeerIndex at, PeerIndex to) {
+  if (!failure_detection_) return;
+  Peer& p = peer(at);
+  const sim::SimTime now = sim_.now();
+  auto sent = p.last_sent.find(to.value());
+  if (sent != p.last_sent.end() && now - sent->second < params_.ack_suppress) {
+    return;  // suppress timer still running
+  }
+  p.last_sent[to.value()] = now;
+  net_.send(at, to, TrafficClass::kHeartbeat, proto::kHeartbeatBytes,
+            [this, to, at] { note_heard(to, at); });
+}
+
+void HybridSystem::on_neighbor_dead(PeerIndex at, PeerIndex dead) {
+  Peer& p = peer(at);
+  p.last_heard.erase(dead.value());
+  p.last_sent.erase(dead.value());
+
+  // Child died: forget it; its own children will rejoin by themselves.
+  auto& kids = p.children;
+  if (std::find(kids.begin(), kids.end(), dead) != kids.end()) {
+    kids.erase(std::remove(kids.begin(), kids.end(), dead), kids.end());
+    return;
+  }
+  auto& mesh = p.mesh_links;
+  if (std::find(mesh.begin(), mesh.end(), dead) != mesh.end()) {
+    mesh.erase(std::remove(mesh.begin(), mesh.end(), dead), mesh.end());
+    return;
+  }
+  if (p.cp == dead) {
+    p.cp = kNoPeer;
+    if (dead == p.tpeer) {
+      // Root crashed: compete at the server for the replacement.
+      net_.send(at, server_, TrafficClass::kControl, proto::kControlBytes,
+                [this, at, dead] { server_handle_compete(at, dead); });
+    } else {
+      rejoin_subtree(at);
+    }
+    return;
+  }
+  if (p.role == Role::kTPeer && (p.successor == dead || p.predecessor == dead)) {
+    // Ring neighbor crashed.  If it had an s-network, its orphans will
+    // replace it; a loner t-peer needs server-side ring repair.
+    net_.send(at, server_, TrafficClass::kControl, proto::kControlBytes,
+              [this, at, dead] {
+                if (replaced_tpeers_.count(dead.value()) != 0) return;
+                bool has_orphans = false;
+                for (const Peer& q : peers_) {
+                  if (!q.is_server && q.joined && net_.alive(q.self) &&
+                      q.tpeer == dead) {
+                    has_orphans = true;
+                    break;
+                  }
+                }
+                if (!has_orphans) server_handle_ring_repair(at, dead);
+              });
+  }
+}
+
+// --- Introspection ------------------------------------------------------------------
+
+std::size_t HybridSystem::num_tpeers() const {
+  std::size_t n = 0;
+  for (const Peer& p : peers_) {
+    n += (!p.is_server && p.joined && p.role == Role::kTPeer);
+  }
+  return n;
+}
+
+std::size_t HybridSystem::num_speers() const {
+  std::size_t n = 0;
+  for (const Peer& p : peers_) {
+    n += (!p.is_server && p.joined && p.role == Role::kSPeer);
+  }
+  return n;
+}
+
+std::pair<PeerId, PeerId> HybridSystem::segment_of(PeerIndex t) const {
+  const Peer& p = peer(t);
+  return {p.predecessor_id, p.pid};
+}
+
+std::vector<PeerIndex> HybridSystem::snetwork_members(PeerIndex t) const {
+  std::vector<PeerIndex> out;
+  std::vector<PeerIndex> frontier{t};
+  while (!frontier.empty()) {
+    const PeerIndex m = frontier.back();
+    frontier.pop_back();
+    out.push_back(m);
+    for (PeerIndex c : peer(m).children) {
+      if (net_.alive(c)) frontier.push_back(c);
+    }
+  }
+  return out;
+}
+
+bool HybridSystem::verify_ring() const {
+  std::vector<PeerIndex> tpeers;
+  for (const Peer& p : peers_) {
+    if (!p.is_server && p.joined && p.role == Role::kTPeer &&
+        net_.alive(p.self)) {
+      tpeers.push_back(p.self);
+    }
+  }
+  if (tpeers.empty()) return true;
+  // Walk successors from any t-peer; must cycle through all of them.
+  const PeerIndex start = tpeers.front();
+  PeerIndex at = start;
+  std::size_t seen = 0;
+  do {
+    const Peer& p = peer(at);
+    if (!p.joined) return false;
+    const Peer& s = peer(p.successor);
+    if (s.predecessor != at) return false;
+    at = p.successor;
+    if (++seen > tpeers.size()) return false;
+  } while (at != start);
+  return seen == tpeers.size();
+}
+
+bool HybridSystem::verify_trees() const {
+  for (const Peer& p : peers_) {
+    if (p.is_server || !p.joined || !net_.alive(p.self)) continue;
+    // Parent/child pointer agreement.
+    for (PeerIndex c : p.children) {
+      if (peer(c).joined && net_.alive(c) && peer(c).cp != p.self) {
+        return false;
+      }
+    }
+    if (p.role == Role::kSPeer) {
+      if (p.cp == kNoPeer) return false;
+      const auto& kids = peer(p.cp).children;
+      if (std::find(kids.begin(), kids.end(), p.self) == kids.end()) {
+        return false;
+      }
+      // cp chain must reach the t-peer.
+      PeerIndex walk = p.self;
+      std::size_t steps = 0;
+      while (peer(walk).role == Role::kSPeer) {
+        walk = peer(walk).cp;
+        if (walk == kNoPeer || ++steps > peers_.size()) return false;
+      }
+      if (walk != p.tpeer) return false;
+    }
+  }
+  return true;
+}
+
+std::size_t HybridSystem::total_items() const {
+  std::size_t n = 0;
+  for (const Peer& p : peers_) {
+    if (!p.is_server && p.joined && net_.alive(p.self)) n += p.store.size();
+  }
+  return n;
+}
+
+std::vector<std::size_t> HybridSystem::items_per_peer() const {
+  std::vector<std::size_t> out;
+  for (const Peer& p : peers_) {
+    if (!p.is_server && p.joined && net_.alive(p.self)) {
+      out.push_back(p.store.size());
+    }
+  }
+  return out;
+}
+
+std::vector<PeerIndex> HybridSystem::live_peers() const {
+  std::vector<PeerIndex> out;
+  for (const Peer& p : peers_) {
+    if (!p.is_server && p.joined && net_.alive(p.self)) out.push_back(p.self);
+  }
+  return out;
+}
+
+std::size_t HybridSystem::num_bypass_links() const {
+  std::size_t n = 0;
+  for (const Peer& p : peers_) n += p.bypass.size();
+  return n;
+}
+
+void HybridSystem::refresh_all_fingers() {
+  for (const auto& [pid, t] : registry_) {
+    Peer& p = peer(t);
+    if (!p.joined) continue;
+    for (unsigned k = 0; k < chord::FingerTable::size(); ++k) {
+      const std::uint64_t start = ring::finger_start(p.pid.value(), k);
+      const PeerIndex owner = registry_owner(start);
+      if (owner != kNoPeer) p.fingers.set(k, owner, peer(owner).pid);
+    }
+  }
+}
+
+}  // namespace hp2p::hybrid

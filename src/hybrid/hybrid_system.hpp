@@ -1,0 +1,435 @@
+// The hybrid peer-to-peer system (Section 3) -- the paper's primary
+// contribution.
+//
+// A structured ring of t-peers (the t-network) partitions the data-id space
+// into segments; each t-peer roots one unstructured s-network of s-peers.
+// Stores and lookups are served by the local s-network when the key falls in
+// the local segment and otherwise travel up the tree, around the ring, and
+// down into the responsible s-network.
+//
+// Everything is message-driven over proto::OverlayNetwork: joins, the
+// concurrent join/leave triangles of Fig. 2, both data-placement schemes,
+// TTL-bounded flooding, HELLO/ack failure detection, server-arbitrated crash
+// replacement, bypass links, and the Section 5 enhancements.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "chord/finger_table.hpp"
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "hybrid/params.hpp"
+#include "proto/data_store.hpp"
+#include "proto/metrics.hpp"
+#include "proto/overlay_network.hpp"
+#include "sim/simulator.hpp"
+
+namespace hp2p::hybrid {
+
+/// The full hybrid system inside one simulation replica, including the
+/// well-known bootstrap server (modeled as a host so that contacting it
+/// costs real latency).
+class HybridSystem {
+ public:
+  using JoinCallback = std::function<void(proto::JoinResult)>;
+  using LookupCallback = std::function<void(proto::LookupResult)>;
+  using StoreCallback = std::function<void()>;
+
+  /// `server_host` is where the well-known server lives.
+  HybridSystem(proto::OverlayNetwork& network, HybridParams params,
+               HostIndex server_host, Rng& rng);
+
+  // --- Membership ------------------------------------------------------------
+
+  /// A new peer contacts the server, which picks its role with probability
+  /// p_s (respecting capacity_aware_roles) and runs the matching join
+  /// protocol.  `done` fires once the peer is fully inserted.
+  PeerIndex add_peer(HostIndex host, JoinCallback done = {});
+
+  /// Same, but the role is forced (benches use this for exact p_s ratios).
+  PeerIndex add_peer_with_role(HostIndex host, Role role,
+                               JoinCallback done = {});
+
+  /// Same, with a forced interest category (Section 5.3 workloads).
+  PeerIndex add_peer_with_interest(HostIndex host, Role role,
+                                   std::uint32_t interest,
+                                   JoinCallback done = {});
+
+  /// Graceful departure (Section 3.2): a leaving t-peer promotes an s-peer
+  /// from its own s-network (or truly leaves the ring when it has none); a
+  /// leaving s-peer hands its load to a neighbour and its orphans rejoin.
+  void leave(PeerIndex peer);
+
+  /// Abrupt departure: the peer silently stops.  Its data is lost; HELLO
+  /// timeouts and the server-arbitrated replacement repair the topology
+  /// when failure detection is running.
+  void crash(PeerIndex peer);
+
+  /// Starts HELLO heartbeats and timeout scanning on all live peers
+  /// (required for crash *recovery*; crashes without it just lose data).
+  void start_failure_detection();
+
+  // --- Data operations --------------------------------------------------------
+
+  /// store(key, value): hashes the key and inserts the item (Section 3.4).
+  void store(PeerIndex from, const std::string& key, std::uint64_t value,
+             StoreCallback done = {});
+
+  /// Direct-id variant used by workload generators that control placement.
+  void store_id(PeerIndex from, DataId id, const std::string& key,
+                std::uint64_t value, StoreCallback done = {});
+
+  /// lookup(key): local s-network first, then the t-network (Section 3.4).
+  /// `done` always fires: success, or failure after lookup_timeout.
+  void lookup(PeerIndex from, const std::string& key, LookupCallback done);
+
+  /// Direct-id variant.
+  void lookup_id(PeerIndex from, DataId id, LookupCallback done);
+
+  /// Result of a partial/keyword search (Section 5.3): keys matching a
+  /// substring within the requester's own s-network.
+  struct KeywordResult {
+    std::vector<std::string> keys;
+    std::uint32_t peers_contacted = 0;
+  };
+  using KeywordCallback = std::function<void(KeywordResult)>;
+
+  /// Floods a substring query through the local s-network and collects all
+  /// matches that arrive before `collect_window` elapses.  This is the
+  /// paper's "partial search ... conducted in the corresponding s-network".
+  void lookup_keyword(PeerIndex from, const std::string& substring,
+                      sim::Duration collect_window, KeywordCallback done);
+
+  /// System-wide complex lookup (Section 3.1): "the query message is first
+  /// flooded within the same s-network; in the meanwhile, it is forwarded
+  /// to other s-networks through the t-network."  The query circulates the
+  /// whole ring, every t-peer floods its own s-network, and all matches
+  /// stream back to the requester until the window closes.
+  void lookup_keyword_global(PeerIndex from, const std::string& substring,
+                             sim::Duration collect_window,
+                             KeywordCallback done);
+
+  // --- Introspection -----------------------------------------------------------
+
+  [[nodiscard]] Role role_of(PeerIndex p) const { return peer(p).role; }
+  [[nodiscard]] PeerId pid_of(PeerIndex p) const { return peer(p).pid; }
+  [[nodiscard]] bool is_joined(PeerIndex p) const { return peer(p).joined; }
+  [[nodiscard]] bool is_alive(PeerIndex p) const { return net_.alive(p); }
+  [[nodiscard]] std::uint32_t interest_of(PeerIndex p) const {
+    return peer(p).interest;
+  }
+  [[nodiscard]] PeerIndex tpeer_of(PeerIndex p) const { return peer(p).tpeer; }
+  [[nodiscard]] PeerIndex parent_of(PeerIndex p) const { return peer(p).cp; }
+  [[nodiscard]] const std::vector<PeerIndex>& children_of(PeerIndex p) const {
+    return peer(p).children;
+  }
+  [[nodiscard]] const proto::DataStore& store_of(PeerIndex p) const {
+    return peer(p).store;
+  }
+  [[nodiscard]] std::size_t num_peers() const { return peers_.size(); }
+  [[nodiscard]] std::size_t num_tpeers() const;
+  [[nodiscard]] std::size_t num_speers() const;
+
+  /// Segment (pred_pid, pid] served by the s-network of t-peer `t`.
+  [[nodiscard]] std::pair<PeerId, PeerId> segment_of(PeerIndex t) const;
+
+  /// Live members of the s-network rooted at t-peer `t` (incl. the t-peer).
+  [[nodiscard]] std::vector<PeerIndex> snetwork_members(PeerIndex t) const;
+
+  /// Ring invariant: successor/predecessor pointers form one cycle over all
+  /// joined t-peers, ids strictly increasing around the cycle.
+  [[nodiscard]] bool verify_ring() const;
+
+  /// Tree invariants: every joined s-peer's cp chain reaches its t-peer and
+  /// parent/child pointers agree.  (The degree cap is enforced at admission
+  /// but may be legitimately exceeded after a promotion absorbs the old
+  /// root's children, so it is asserted by tests on churn-free builds
+  /// rather than here.)
+  [[nodiscard]] bool verify_trees() const;
+
+  /// Total stored items across live peers.
+  [[nodiscard]] std::size_t total_items() const;
+
+  /// Items-per-peer across live joined peers (Fig. 4 raw data).
+  [[nodiscard]] std::vector<std::size_t> items_per_peer() const;
+
+  /// Live joined peers (for workload generators to draw from).
+  [[nodiscard]] std::vector<PeerIndex> live_peers() const;
+
+  /// Number of bypass links currently installed system-wide.
+  [[nodiscard]] std::size_t num_bypass_links() const;
+
+  /// Lifetime counters for the Section 5.4 mechanism.
+  [[nodiscard]] std::uint64_t bypass_installs() const {
+    return bypass_installs_;
+  }
+  [[nodiscard]] std::uint64_t bypass_uses() const { return bypass_uses_; }
+
+  /// How many lookups each peer has answered (from store or cache); the
+  /// load metric of the Section 7 caching scheme.
+  [[nodiscard]] std::uint64_t answers_served(PeerIndex p) const {
+    return peer(p).answers_served;
+  }
+  /// Largest per-peer answer count (the "overwhelmed host" indicator).
+  [[nodiscard]] std::uint64_t max_answers_served() const;
+  /// Lookups answered from a cache rather than the authoritative store.
+  [[nodiscard]] std::uint64_t cache_hits() const { return cache_hits_; }
+
+  /// T-peer responsible for a data id (server-registry view).
+  [[nodiscard]] PeerIndex owner_tpeer(DataId id) const {
+    return registry_owner(id.value());
+  }
+
+  /// Bulk-refreshes every t-peer's finger table from the server registry.
+  /// Stand-in for Chord's background fix_fingers: the hybrid paper keeps
+  /// finger maintenance out of scope (substitution updates aside), so
+  /// benches call this once after the build phase when t_routing==kFinger.
+  void refresh_all_fingers();
+
+  [[nodiscard]] const HybridParams& params() const { return params_; }
+
+ private:
+  // --- Internal state ---------------------------------------------------------
+
+  struct BypassLink {
+    PeerIndex to = kNoPeer;
+    PeerId segment_lo{};  // predecessor pid of the remote t-peer
+    PeerId segment_hi{};  // pid of the remote t-peer
+    sim::SimTime expires{};
+  };
+
+  /// A queued t-peer join request (Section 3.3 serialization).
+  struct PendingJoin {
+    PeerIndex joiner = kNoPeer;
+    std::uint32_t hops = 0;
+    sim::SimTime started{};
+    JoinCallback done;
+  };
+
+  struct Peer {
+    PeerIndex self = kNoPeer;
+    HostIndex host = kNoHost;
+    Role role = Role::kSPeer;
+    PeerId pid{};
+    std::uint32_t interest = 0;
+    bool joined = false;
+
+    // T-peer ring state.
+    PeerIndex successor = kNoPeer;
+    PeerId successor_id{};
+    PeerIndex predecessor = kNoPeer;
+    PeerId predecessor_id{};
+    chord::FingerTable fingers;
+    // Concurrency control of Section 3.3.
+    bool joining_mutex = false;
+    bool leaving_mutex = false;
+    std::deque<PendingJoin> pending_joins;
+    bool is_server = false;
+
+    // S-network membership (t-peers are tree roots; cp == kNoPeer).
+    PeerIndex tpeer = kNoPeer;  // root of my s-network (self for t-peers)
+    PeerIndex cp = kNoPeer;     // connect point (tree parent)
+    std::vector<PeerIndex> children;
+    std::vector<PeerIndex> mesh_links;  // kMesh style extra links
+    std::vector<BypassLink> bypass;
+
+    proto::DataStore store;
+    // BitTorrent style: tracker index at the t-peer (d_id -> holder).
+    std::unordered_map<DataId, PeerIndex> tracker_index;
+    // Section 7 caching scheme: recently fetched items, oldest first.
+    struct CacheEntry {
+      proto::DataItem item;
+      sim::SimTime expires{};
+    };
+    std::deque<CacheEntry> cache;
+    std::uint64_t answers_served = 0;
+
+    // Failure-detection bookkeeping.
+    std::unordered_map<std::uint32_t, sim::SimTime> last_heard;  // by peer idx
+    std::unordered_map<std::uint32_t, sim::SimTime> last_sent;
+    bool heartbeat_running = false;
+  };
+
+  struct Query {
+    PeerIndex origin = kNoPeer;
+    DataId target{};
+    sim::SimTime started{};
+    std::uint32_t contacted = 0;
+    bool finished = false;
+    bool reflooded = false;
+    sim::TimerId timer{};
+    LookupCallback done;
+    std::unordered_set<std::uint32_t> visited;  // flood dedup + contacted
+  };
+
+  Peer& peer(PeerIndex i) { return peers_[i.value()]; }
+  [[nodiscard]] const Peer& peer(PeerIndex i) const {
+    return peers_[i.value()];
+  }
+
+  // --- Server logic (runs at server_) -----------------------------------------
+
+  [[nodiscard]] Role server_pick_role(HostIndex host);
+  [[nodiscard]] PeerId server_generate_pid();
+  /// Picks the s-network for a joining s-peer: interest match, landmark
+  /// cluster, or smallest size (Section 3.2.2 / 5.2 / 5.3).
+  [[nodiscard]] PeerIndex server_pick_snetwork(PeerIndex joiner);
+  [[nodiscard]] PeerIndex server_random_tpeer();
+  void server_handle_compete(PeerIndex orphan, PeerIndex dead_tpeer);
+  /// Ring repair when a t-peer with no surviving s-network crashes: the
+  /// server drops it from the registry and reconnects its ring neighbors.
+  void server_handle_ring_repair(PeerIndex reporter, PeerIndex dead);
+  /// Registry maintenance.
+  void registry_insert(PeerId pid, PeerIndex t);
+  void registry_erase(PeerId pid);
+  [[nodiscard]] PeerIndex registry_owner(std::uint64_t id) const;
+
+  // --- Join protocols ----------------------------------------------------------
+
+  void start_tpeer_join(PeerIndex joiner, sim::SimTime started,
+                        JoinCallback done);
+  void route_tjoin(PeerIndex at, PeerIndex joiner, std::uint32_t hops,
+                   sim::SimTime started, JoinCallback done);
+  void tjoin_at_pre(PeerIndex pre, PendingJoin req);
+  void run_join_triangle(PeerIndex pre, PendingJoin req);
+  void process_pending_joins(PeerIndex pre);
+  void start_speer_join(PeerIndex joiner, PeerIndex target_tpeer,
+                        sim::SimTime started, JoinCallback done);
+  void descend_sjoin(PeerIndex at, PeerIndex joiner, std::uint32_t hops,
+                     sim::SimTime started, JoinCallback done);
+  [[nodiscard]] bool accepts_child(const Peer& p) const;
+  [[nodiscard]] unsigned tree_degree(const Peer& p) const;
+
+  // --- Leave / crash -----------------------------------------------------------
+
+  void tpeer_leave(PeerIndex leaving);
+  void speer_leave(PeerIndex leaving);
+  /// Promotes s-peer `heir` into the ring position of `old_t` (graceful
+  /// role transfer or crash replacement).  `with_data` carries old_t's
+  /// store across (graceful only).
+  void promote_speer(PeerIndex heir, PeerIndex old_t, bool with_data);
+  void ring_leave(PeerIndex leaving);
+  void ring_leave_wait_pre(PeerIndex leaving);
+  void ring_leave_step2(PeerIndex pre, PeerIndex suc, PeerId suc_id,
+                        PeerIndex leaving, PeerId pre_id);
+  void broadcast_substitution(PeerIndex old_t, PeerIndex new_t);
+  void detach_from_tree(PeerIndex p, bool notify_children);
+  void rejoin_subtree(PeerIndex child);
+
+  // --- Failure detection -------------------------------------------------------
+
+  void heartbeat_tick(PeerIndex p);
+  void heartbeat_step(PeerIndex p);
+  [[nodiscard]] std::vector<PeerIndex> link_neighbors(const Peer& p) const;
+  void on_neighbor_dead(PeerIndex at, PeerIndex dead);
+  void note_heard(PeerIndex at, PeerIndex from);
+  void maybe_ack(PeerIndex at, PeerIndex to);
+
+  // --- Data path ---------------------------------------------------------------
+
+  [[nodiscard]] bool in_local_segment(const Peer& p, DataId id) const;
+  void forward_up_to_tpeer(PeerIndex at, std::uint32_t bytes,
+                           proto::TrafficClass cls,
+                           std::function<void(PeerIndex, std::uint32_t)> at_root,
+                           std::uint32_t hops);
+  /// Forwards around the t-network until the owner of `target` is reached.
+  /// When `intercept` is set it runs at every intermediate t-peer; returning
+  /// true consumes the request there (cache hits at surrogate peers,
+  /// Section 7).
+  void route_ring(PeerIndex at, std::uint64_t target, std::uint32_t hops,
+                  std::uint32_t contacted, proto::TrafficClass cls,
+                  std::uint32_t bytes,
+                  std::function<void(PeerIndex, std::uint32_t, std::uint32_t)>
+                      at_owner,
+                  std::function<bool(PeerIndex, std::uint32_t)> intercept = {});
+  void place_item(PeerIndex at, proto::DataItem item, StoreCallback done);
+  void spread_item(PeerIndex at, proto::DataItem item, StoreCallback done);
+
+  /// Dispatches to flood() or random walks per params_.s_search.
+  void search_snetwork(PeerIndex at, PeerIndex from, std::uint64_t qid,
+                       unsigned ttl, std::uint32_t hops);
+  void flood(PeerIndex at, PeerIndex from, std::uint64_t qid, unsigned ttl,
+             std::uint32_t hops);
+  void walk(PeerIndex at, std::uint64_t qid, unsigned ttl,
+            std::uint32_t hops);
+  [[nodiscard]] std::vector<PeerIndex> snetwork_neighbors(const Peer& p) const;
+  bool try_answer(PeerIndex at, std::uint64_t qid, std::uint32_t hops);
+  /// Store first, then cache (when enabled); nullptr on miss.
+  [[nodiscard]] const proto::DataItem* answer_source(Peer& p, DataId id,
+                                                     bool& from_cache);
+  void cache_put(PeerIndex at, const proto::DataItem& item);
+  void finish_query(std::uint64_t qid, proto::LookupResult result);
+  void start_remote_lookup(PeerIndex origin, std::uint64_t qid, DataId id);
+  void bt_lookup(PeerIndex origin, std::uint64_t qid, PeerIndex tracker,
+                 std::uint32_t hops);
+  void maybe_add_bypass(PeerIndex a, PeerIndex b);
+  /// Drops expired links so they stop consuming the delta budget.
+  void prune_bypass(Peer& p);
+  /// Live link covering `id`, if any; using it refreshes its expiry timer
+  /// ("transmitting a packet through the bypass link will refresh the
+  /// attached timer", Section 5.4).
+  [[nodiscard]] BypassLink* find_bypass(Peer& p, DataId id);
+
+  // --- Landmark binning (Section 5.2) -------------------------------------------
+
+  [[nodiscard]] std::uint64_t coordinate_of(HostIndex host) const;
+
+  proto::OverlayNetwork& net_;
+  sim::Simulator& sim_;
+  HybridParams params_;
+  Rng& rng_;
+
+  PeerIndex server_ = kNoPeer;  // the well-known server's transport endpoint
+  std::vector<Peer> peers_;
+  /// Server-side ring registry: pid -> t-peer (ordered for owner queries).
+  std::map<std::uint64_t, PeerIndex> registry_;
+  /// Server-side round-robin cursors: interest/cluster -> t-peer list slot.
+  std::unordered_map<std::uint64_t, std::size_t> assignment_cursor_;
+  /// Server's (approximate) view of each s-network's size, for
+  /// smallest-first assignment.
+  std::unordered_map<std::uint32_t, std::size_t> snetwork_size_;
+  /// Sticky interest -> s-network anchor (Section 5.3).
+  std::unordered_map<std::uint32_t, PeerIndex> interest_snetwork_;
+  std::vector<HostIndex> landmarks_;
+  std::unordered_map<std::uint64_t, Query> queries_;
+  std::uint64_t next_query_id_ = 1;
+  std::uint64_t next_key_ = 1;
+  bool failure_detection_ = false;
+  /// Orphans already competing for a given dead t-peer (server-side memory
+  /// so the first competitor wins).
+  std::unordered_set<std::uint32_t> replaced_tpeers_;
+  std::uint64_t bypass_installs_ = 0;
+  std::uint64_t bypass_uses_ = 0;
+  std::uint64_t cache_hits_ = 0;
+
+  /// In-flight keyword searches.
+  struct KeywordQuery {
+    PeerIndex origin = kNoPeer;
+    std::string substring;
+    KeywordResult result;
+    std::unordered_set<std::uint32_t> visited;
+    sim::TimerId timer{};
+    KeywordCallback done;
+  };
+  std::unordered_map<std::uint64_t, KeywordQuery> keyword_queries_;
+  void keyword_flood(PeerIndex at, PeerIndex from, std::uint64_t qid,
+                     unsigned ttl);
+  /// Circulates a keyword query clockwise around the ring; each t-peer
+  /// contributes its own matches and floods its s-network, until the walk
+  /// returns to `stop_at`.
+  void keyword_ring_walk(PeerIndex at, PeerIndex stop_at, std::uint64_t qid);
+  std::uint64_t start_keyword_query(PeerIndex from,
+                                    const std::string& substring,
+                                    sim::Duration collect_window,
+                                    KeywordCallback done);
+};
+
+}  // namespace hp2p::hybrid

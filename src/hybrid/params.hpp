@@ -1,0 +1,114 @@
+// Tunable parameters of the hybrid peer-to-peer system (Section 3.1).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace hp2p::hybrid {
+
+/// Role of a peer (Section 3.1): t-peers form the structured ring; s-peers
+/// hang off a t-peer in an unstructured s-network.
+enum class Role : std::uint8_t { kTPeer, kSPeer };
+
+/// Data-placement scheme at the responsible t-peer (Section 3.4).
+enum class PlacementScheme : std::uint8_t {
+  /// Scheme 1: the responsible t-peer stores every item routed to it.
+  kTPeerStores,
+  /// Scheme 2: the t-peer repeatedly hands the item to a uniformly random
+  /// directly-connected neighbour (or keeps it), spreading load down the
+  /// s-network.
+  kRandomSpread,
+};
+
+/// Topology of each s-network.
+enum class SNetworkStyle : std::uint8_t {
+  /// Paper default: tree rooted at the t-peer, per-peer degree cap delta.
+  kTree,
+  /// All s-peers link directly to the t-peer (the "diameter two" variant of
+  /// Section 3.2.2, kept for the load-imbalance ablation).
+  kStar,
+  /// Gnutella-ish random mesh inside the s-network (ablation: duplicate
+  /// query copies vs. the tree).
+  kMesh,
+  /// Section 5.5: the t-peer acts as a BitTorrent tracker; no flooding.
+  kBitTorrent,
+};
+
+/// How requests travel around the t-network ring (Section 4.1 analyses
+/// both).
+enum class TRouting : std::uint8_t {
+  kRing,    // successor pointers only: ~N_t/2 hops (matches Table 2)
+  kFinger,  // finger tables: ~log N_t hops
+};
+
+/// Search strategy inside an s-network ("flooding or random walks",
+/// Section 1/3.1).
+enum class SSearch : std::uint8_t { kFlood, kRandomWalk };
+
+/// All knobs in one aggregate; default values follow Section 6.
+struct HybridParams {
+  /// p_s: fraction of peers that are s-peers (0 = pure structured ring,
+  /// 1 = pure unstructured).
+  double ps = 0.5;
+  /// Degree constraint delta on s-network tree links.
+  unsigned delta = 3;
+  /// Flood radius (TTL) inside an s-network.
+  unsigned ttl = 4;
+  PlacementScheme placement = PlacementScheme::kRandomSpread;
+  SNetworkStyle style = SNetworkStyle::kTree;
+  TRouting t_routing = TRouting::kRing;
+
+  /// Section 5.3: assign s-peers to s-networks by interest instead of by
+  /// smallest size.
+  bool interest_based = false;
+  unsigned num_interests = 16;
+
+  /// Section 5.2: landmark binning; s-peers in the same latency cluster go
+  /// to the same s-network.
+  bool topology_aware = false;
+  unsigned num_landmarks = 8;
+
+  /// Section 5.4: shortcut links between s-networks, created by cross-
+  /// network stores/lookups and expiring when idle.
+  bool bypass_links = false;
+  sim::Duration bypass_lifetime = sim::SimTime::seconds(120);
+
+  /// Section 5.1: prefer high-capacity hosts as t-peers.
+  bool capacity_aware_roles = false;
+  /// Section 5.1: accept an s-peer at a connect point whose link usage
+  /// (degree / capacity class) is still low, instead of strictly degree<delta.
+  bool link_usage_connect = false;
+
+  /// Mesh style only: random neighbours per joining s-peer.
+  unsigned mesh_links = 2;
+
+  /// Heartbeat machinery (Section 3.2.2).
+  sim::Duration hello_interval = sim::SimTime::millis(2000);
+  sim::Duration hello_timeout = sim::SimTime::millis(5000);
+  /// Suppress timer: minimum gap between acknowledgment messages.
+  sim::Duration ack_suppress = sim::SimTime::millis(500);
+
+  /// Requester-side deadline before a lookup counts as failed.
+  sim::Duration lookup_timeout = sim::SimTime::seconds(15);
+  /// Optional Section 3.4 retry: one re-flood with doubled TTL after a
+  /// local-segment miss.
+  bool reflood_on_timeout = false;
+
+  /// In-s-network search strategy; random walks trade latency/recall for
+  /// bandwidth.
+  SSearch s_search = SSearch::kFlood;
+  /// Parallel walkers when s_search == kRandomWalk.
+  unsigned walkers = 4;
+
+  /// The caching scheme sketched as future work in Section 7: requesters
+  /// cache items they fetched; any peer a query visits may answer from its
+  /// cache, spreading the load of popular data across many peers.
+  bool enable_caching = false;
+  /// Cached items per peer (oldest evicted first).
+  std::size_t cache_capacity = 8;
+  /// Cache entry lifetime.
+  sim::Duration cache_ttl = sim::SimTime::seconds(120);
+};
+
+}  // namespace hp2p::hybrid

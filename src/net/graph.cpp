@@ -1,0 +1,56 @@
+#include "net/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hp2p::net {
+
+Graph::Graph(std::size_t num_nodes) : adjacency_(num_nodes) {}
+
+std::uint32_t Graph::add_node() {
+  adjacency_.emplace_back();
+  return static_cast<std::uint32_t>(adjacency_.size() - 1);
+}
+
+EdgeIndex Graph::add_edge(std::uint32_t u, std::uint32_t v,
+                          std::uint32_t latency_us) {
+  assert(u < adjacency_.size() && v < adjacency_.size() && u != v);
+  const auto id = static_cast<EdgeIndex>(edge_latency_.size());
+  edge_latency_.push_back(latency_us);
+  adjacency_[u].push_back(HalfEdge{v, latency_us, id});
+  adjacency_[v].push_back(HalfEdge{u, latency_us, id});
+  return id;
+}
+
+bool Graph::has_edge(std::uint32_t u, std::uint32_t v) const {
+  const auto& smaller =
+      adjacency_[u].size() <= adjacency_[v].size() ? adjacency_[u]
+                                                   : adjacency_[v];
+  const std::uint32_t target = adjacency_[u].size() <= adjacency_[v].size()
+                                   ? v
+                                   : u;
+  return std::any_of(smaller.begin(), smaller.end(),
+                     [&](const HalfEdge& h) { return h.to == target; });
+}
+
+bool Graph::connected() const {
+  if (adjacency_.empty()) return true;
+  std::vector<bool> seen(adjacency_.size(), false);
+  std::vector<std::uint32_t> stack{0};
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const std::uint32_t u = stack.back();
+    stack.pop_back();
+    for (const HalfEdge& h : adjacency_[u]) {
+      if (!seen[h.to]) {
+        seen[h.to] = true;
+        ++visited;
+        stack.push_back(h.to);
+      }
+    }
+  }
+  return visited == adjacency_.size();
+}
+
+}  // namespace hp2p::net

@@ -1,0 +1,58 @@
+// Undirected weighted graph for the physical (underlay) topology.
+//
+// The overlay never sees this class directly; it talks to net::Underlay,
+// which adds shortest-path routing on top.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hp2p::net {
+
+/// Identifier of an undirected edge (index into the edge list).
+using EdgeIndex = std::uint32_t;
+
+inline constexpr EdgeIndex kNoEdge = ~EdgeIndex{0};
+
+/// One directed half of an undirected edge, stored in adjacency lists.
+struct HalfEdge {
+  std::uint32_t to = 0;
+  std::uint32_t latency_us = 0;  // propagation delay of the physical link
+  EdgeIndex edge = kNoEdge;      // undirected edge id (shared by both halves)
+};
+
+/// Undirected weighted multigraph with O(1) degree/neighbor access.
+class Graph {
+ public:
+  explicit Graph(std::size_t num_nodes = 0);
+
+  [[nodiscard]] std::size_t num_nodes() const { return adjacency_.size(); }
+  [[nodiscard]] std::size_t num_edges() const { return edge_latency_.size(); }
+
+  /// Adds node and returns its index.
+  std::uint32_t add_node();
+
+  /// Adds an undirected edge; returns its edge id.  Parallel edges allowed
+  /// but the generator avoids them.
+  EdgeIndex add_edge(std::uint32_t u, std::uint32_t v,
+                     std::uint32_t latency_us);
+
+  [[nodiscard]] std::span<const HalfEdge> neighbors(std::uint32_t node) const {
+    return adjacency_[node];
+  }
+  [[nodiscard]] std::uint32_t edge_latency_us(EdgeIndex e) const {
+    return edge_latency_[e];
+  }
+  /// True when an edge already links u and v (used to avoid parallel edges).
+  [[nodiscard]] bool has_edge(std::uint32_t u, std::uint32_t v) const;
+
+  /// True when every node can reach every other node.
+  [[nodiscard]] bool connected() const;
+
+ private:
+  std::vector<std::vector<HalfEdge>> adjacency_;
+  std::vector<std::uint32_t> edge_latency_;
+};
+
+}  // namespace hp2p::net

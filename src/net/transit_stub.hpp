@@ -1,0 +1,69 @@
+// Random transit-stub topology generator.
+//
+// Stands in for GT-ITM, which the paper used to generate its 1,000-node
+// underlays.  The structural model is the same: a small number of transit
+// domains whose nodes are well connected, each transit node anchoring a few
+// stub domains of end hosts; intra-stub links are fast, stub-to-transit
+// links slower, transit-to-transit links slowest.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/graph.hpp"
+
+namespace hp2p::net {
+
+/// Role of a physical node in the transit-stub hierarchy.
+enum class NodeRole : std::uint8_t { kTransit, kStub };
+
+/// Inclusive latency range, microseconds, for one class of link.
+struct LatencyRange {
+  std::uint32_t lo_us = 0;
+  std::uint32_t hi_us = 0;
+};
+
+/// Generator parameters.  Defaults produce ~1,000 nodes, matching the paper.
+struct TransitStubParams {
+  std::uint32_t transit_domains = 4;
+  std::uint32_t transit_nodes_per_domain = 4;
+  std::uint32_t stub_domains_per_transit_node = 3;
+  std::uint32_t stub_nodes_per_domain = 20;
+  /// Probability of an extra (non-spanning-tree) edge between two nodes of
+  /// the same domain; both domains always come out connected.
+  double intra_domain_extra_edge_prob = 0.3;
+  /// Extra transit-domain-to-transit-domain edges beyond the ring that
+  /// guarantees connectivity.
+  std::uint32_t extra_interdomain_edges = 2;
+  LatencyRange intra_stub{1'000, 5'000};        // 1-5 ms
+  LatencyRange stub_transit{5'000, 20'000};     // 5-20 ms
+  LatencyRange intra_transit{10'000, 40'000};   // 10-40 ms
+  LatencyRange inter_transit{20'000, 80'000};   // 20-80 ms
+
+  /// Total node count this parameter set generates.
+  [[nodiscard]] std::uint32_t total_nodes() const {
+    const std::uint32_t transit = transit_domains * transit_nodes_per_domain;
+    return transit + transit * stub_domains_per_transit_node *
+                         stub_nodes_per_domain;
+  }
+
+  /// Adjusts stub_nodes_per_domain so total_nodes() is >= `n` and as close
+  /// as possible; keeps the transit skeleton fixed.
+  [[nodiscard]] static TransitStubParams for_total_nodes(std::uint32_t n);
+};
+
+/// A generated topology: the weighted graph plus per-node metadata.
+struct Topology {
+  Graph graph;
+  std::vector<NodeRole> role;          // per node
+  std::vector<std::uint32_t> domain;   // stub-domain id or transit-domain id
+  std::uint32_t num_transit_nodes = 0;
+};
+
+/// Generates a connected transit-stub topology.  Deterministic for a given
+/// (params, rng state).
+[[nodiscard]] Topology generate_transit_stub(const TransitStubParams& params,
+                                             Rng& rng);
+
+}  // namespace hp2p::net

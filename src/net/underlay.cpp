@@ -1,0 +1,125 @@
+#include "net/underlay.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+
+namespace hp2p::net {
+
+std::uint64_t LinkStress::max_stress() const {
+  std::uint64_t best = 0;
+  for (auto c : counts_) best = std::max(best, c);
+  return best;
+}
+
+double LinkStress::mean_stress() const {
+  if (counts_.empty()) return 0.0;
+  return static_cast<double>(total_copies()) /
+         static_cast<double>(counts_.size());
+}
+
+std::uint64_t LinkStress::total_copies() const {
+  std::uint64_t sum = 0;
+  for (auto c : counts_) sum += c;
+  return sum;
+}
+
+Underlay::Underlay(Topology topology, Rng& capacity_rng)
+    : topology_(std::move(topology)) {
+  const std::size_t v = topology_.graph.num_nodes();
+  latency_us_.assign(v * v, std::numeric_limits<std::uint32_t>::max());
+  first_hop_.assign(v * v, std::numeric_limits<std::uint32_t>::max());
+  first_edge_.assign(v * v, kNoEdge);
+  for (std::uint32_t s = 0; s < v; ++s) dijkstra_from(s);
+
+  // Deal capacity classes exactly 1/3 : 1/3 : 1/3 (paper Section 6),
+  // shuffled so classes are uncorrelated with topology position.
+  capacity_.resize(v);
+  std::vector<std::uint32_t> order(v);
+  for (std::uint32_t i = 0; i < v; ++i) order[i] = i;
+  capacity_rng.shuffle(order);
+  for (std::size_t i = 0; i < v; ++i) {
+    const std::size_t third = (i * 3) / v;
+    capacity_[order[i]] = static_cast<CapacityClass>(third);
+  }
+}
+
+void Underlay::dijkstra_from(std::uint32_t source) {
+  const std::size_t v = topology_.graph.num_nodes();
+  using QItem = std::pair<std::uint64_t, std::uint32_t>;  // (dist, node)
+  std::priority_queue<QItem, std::vector<QItem>, std::greater<>> queue;
+  std::vector<std::uint64_t> dist(v, std::numeric_limits<std::uint64_t>::max());
+  // For path recovery we track, per settled node, the *first* hop taken out
+  // of the source, plus per-node parent edge for for_each_path_edge.
+  std::vector<std::uint32_t> parent(v, std::numeric_limits<std::uint32_t>::max());
+  std::vector<EdgeIndex> parent_edge(v, kNoEdge);
+
+  dist[source] = 0;
+  queue.emplace(0, source);
+  while (!queue.empty()) {
+    const auto [d, u] = queue.top();
+    queue.pop();
+    if (d != dist[u]) continue;
+    for (const HalfEdge& h : topology_.graph.neighbors(u)) {
+      const std::uint64_t nd = d + h.latency_us;
+      if (nd < dist[h.to]) {
+        dist[h.to] = nd;
+        parent[h.to] = u;
+        parent_edge[h.to] = h.edge;
+        queue.emplace(nd, h.to);
+      }
+    }
+  }
+
+  for (std::uint32_t t = 0; t < v; ++t) {
+    assert(dist[t] != std::numeric_limits<std::uint64_t>::max());
+    latency_us_[index(source, t)] = static_cast<std::uint32_t>(dist[t]);
+    if (t == source) continue;
+    // Walk back from t to find the hop adjacent to the source.
+    std::uint32_t walk = t;
+    while (parent[walk] != source) walk = parent[walk];
+    first_hop_[index(source, t)] = walk;
+    first_edge_[index(source, t)] = parent_edge[walk];
+  }
+}
+
+std::uint32_t Underlay::path_hops(HostIndex from, HostIndex to) const {
+  std::uint32_t hops = 0;
+  std::uint32_t u = from.value();
+  const std::uint32_t t = to.value();
+  while (u != t) {
+    u = first_hop_[index(u, t)];
+    ++hops;
+  }
+  return hops;
+}
+
+void Underlay::for_each_path_edge(
+    HostIndex from, HostIndex to,
+    const std::function<void(EdgeIndex)>& fn) const {
+  std::uint32_t u = from.value();
+  const std::uint32_t t = to.value();
+  while (u != t) {
+    fn(first_edge_[index(u, t)]);
+    u = first_hop_[index(u, t)];
+  }
+}
+
+sim::SimTime Underlay::transmission_delay(HostIndex from, HostIndex to,
+                                          std::uint32_t bytes) const {
+  const double bps = std::min(capacity_bps(capacity(from)),
+                              capacity_bps(capacity(to)));
+  const double seconds = static_cast<double>(bytes) * 8.0 / bps;
+  return sim::SimTime::seconds(seconds);
+}
+
+std::vector<sim::SimTime> Underlay::distances_to(
+    HostIndex host, const std::vector<HostIndex>& landmarks) const {
+  std::vector<sim::SimTime> out;
+  out.reserve(landmarks.size());
+  for (HostIndex lm : landmarks) out.push_back(latency(host, lm));
+  return out;
+}
+
+}  // namespace hp2p::net

@@ -1,0 +1,109 @@
+// Underlay routing: shortest-path latencies and path recovery on top of a
+// generated topology.
+//
+// Every overlay hop in the simulation maps to one source->destination
+// traversal of the underlay; its cost is the Dijkstra shortest-path delay,
+// and link-stress accounting walks the physical edges of that path (the
+// paper's Section 5.2 metric).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "net/transit_stub.hpp"
+#include "sim/time.hpp"
+
+namespace hp2p::net {
+
+/// Link-capacity class of a host's access link (Section 5.1: 1/3 of peers in
+/// each class, fastest = 10x slowest).
+enum class CapacityClass : std::uint8_t { kLow, kMedium, kHigh };
+
+/// Bits per second of each capacity class.  Low is dial-up-ish; the exact
+/// constants only scale the transmission-delay term.
+[[nodiscard]] constexpr double capacity_bps(CapacityClass c) {
+  switch (c) {
+    case CapacityClass::kLow:
+      return 1e6;
+    case CapacityClass::kMedium:
+      return 3.16e6;  // geometric midpoint of 1x and 10x
+    case CapacityClass::kHigh:
+      return 1e7;
+  }
+  return 1e6;
+}
+
+/// Per-physical-edge message-copy counters (link stress, Section 5.2).
+class LinkStress {
+ public:
+  explicit LinkStress(std::size_t num_edges) : counts_(num_edges, 0) {}
+
+  void bump(EdgeIndex e) { ++counts_[e]; }
+  [[nodiscard]] std::uint64_t count(EdgeIndex e) const { return counts_[e]; }
+  [[nodiscard]] std::uint64_t max_stress() const;
+  [[nodiscard]] double mean_stress() const;
+  [[nodiscard]] std::uint64_t total_copies() const;
+
+ private:
+  std::vector<std::uint64_t> counts_;
+};
+
+/// The routed underlay: topology + all-pairs shortest paths + host
+/// capacities.  Immutable after construction, so replicas running on
+/// different threads can share one instance by const reference.
+class Underlay {
+ public:
+  /// Builds routing state; O(V * E log V) once per topology.
+  /// `capacity_rng` deals the 1/3:1/3:1/3 capacity classes.
+  Underlay(Topology topology, Rng& capacity_rng);
+
+  [[nodiscard]] std::uint32_t num_hosts() const {
+    return static_cast<std::uint32_t>(topology_.graph.num_nodes());
+  }
+  [[nodiscard]] const Topology& topology() const { return topology_; }
+
+  /// Propagation delay of the shortest path between two hosts.
+  [[nodiscard]] sim::SimTime latency(HostIndex from, HostIndex to) const {
+    return sim::SimTime::micros(
+        latency_us_[index(from.value(), to.value())]);
+  }
+
+  /// Number of physical hops on the shortest path.
+  [[nodiscard]] std::uint32_t path_hops(HostIndex from, HostIndex to) const;
+
+  /// Invokes `fn(edge)` for every physical edge on the shortest path.
+  void for_each_path_edge(HostIndex from, HostIndex to,
+                          const std::function<void(EdgeIndex)>& fn) const;
+
+  /// Access-link capacity class of a host.
+  [[nodiscard]] CapacityClass capacity(HostIndex host) const {
+    return capacity_[host.value()];
+  }
+
+  /// Transmission delay of `bytes` over the slower of the two endpoints'
+  /// access links (the bottleneck model of Section 5.1).
+  [[nodiscard]] sim::SimTime transmission_delay(HostIndex from, HostIndex to,
+                                                std::uint32_t bytes) const;
+
+  /// Mean landmark-style distance vector for a host: latencies to the given
+  /// landmark hosts, used by the Section 5.2 binning scheme.
+  [[nodiscard]] std::vector<sim::SimTime> distances_to(
+      HostIndex host, const std::vector<HostIndex>& landmarks) const;
+
+ private:
+  [[nodiscard]] std::size_t index(std::uint32_t from, std::uint32_t to) const {
+    return static_cast<std::size_t>(from) * topology_.graph.num_nodes() + to;
+  }
+  void dijkstra_from(std::uint32_t source);
+
+  Topology topology_;
+  std::vector<std::uint32_t> latency_us_;   // dense V*V
+  std::vector<std::uint32_t> first_hop_;    // dense V*V, next node from->to
+  std::vector<EdgeIndex> first_edge_;       // dense V*V, edge of that hop
+  std::vector<CapacityClass> capacity_;     // per host
+};
+
+}  // namespace hp2p::net

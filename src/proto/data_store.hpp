@@ -1,0 +1,104 @@
+// Per-peer data store for (key, value) items.
+//
+// A data item is the paper's (key, value) pair: the key hashes to a d_id and
+// the value is modeled as an opaque token (we account for its wire size, not
+// its contents).  All three overlays use this store.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hashing.hpp"
+#include "common/ids.hpp"
+#include "common/ring_math.hpp"
+
+namespace hp2p::proto {
+
+/// One stored data item.
+struct DataItem {
+  DataId id;                 // hash of key
+  std::string key;           // label/name (e.g. file name)
+  std::uint64_t value = 0;   // opaque content token
+  PeerIndex origin = kNoPeer;  // peer that generated the item
+};
+
+/// Hash-indexed store; lookup by d_id is O(1).  Distinct keys colliding on
+/// the same d_id are all kept (chained), matching hash-table semantics.
+class DataStore {
+ public:
+  void insert(DataItem item) {
+    items_[item.id].push_back(std::move(item));
+    ++size_;
+  }
+
+  /// First item with this d_id, if any (exact-match lookup semantics).
+  [[nodiscard]] const DataItem* find(DataId id) const {
+    const auto it = items_.find(id);
+    if (it == items_.end() || it->second.empty()) return nullptr;
+    return &it->second.front();
+  }
+
+  /// Item with this exact key, if any.
+  [[nodiscard]] const DataItem* find_key(DataId id,
+                                         const std::string& key) const {
+    const auto it = items_.find(id);
+    if (it == items_.end()) return nullptr;
+    for (const auto& item : it->second) {
+      if (item.key == key) return &item;
+    }
+    return nullptr;
+  }
+
+  /// Removes and returns all items with d_id in the half-open ring arc
+  /// (from, to]; the paper's load-transfer primitive.
+  [[nodiscard]] std::vector<DataItem> extract_arc(PeerId from, PeerId to);
+
+  /// Removes and returns everything (the paper's loaddump()).
+  [[nodiscard]] std::vector<DataItem> extract_all();
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// Iterates items (read-only).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [id, chain] : items_) {
+      for (const auto& item : chain) fn(item);
+    }
+  }
+
+ private:
+  std::unordered_map<DataId, std::vector<DataItem>> items_;
+  std::size_t size_ = 0;
+};
+
+inline std::vector<DataItem> DataStore::extract_arc(PeerId from, PeerId to) {
+  std::vector<DataItem> out;
+  for (auto it = items_.begin(); it != items_.end();) {
+    if (ring::in_arc_open_closed(it->first.value(), from.value(),
+                                 to.value())) {
+      for (auto& item : it->second) out.push_back(std::move(item));
+      it = items_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  size_ -= out.size();
+  return out;
+}
+
+inline std::vector<DataItem> DataStore::extract_all() {
+  std::vector<DataItem> out;
+  out.reserve(size_);
+  for (auto& [id, chain] : items_) {
+    for (auto& item : chain) out.push_back(std::move(item));
+  }
+  items_.clear();
+  size_ = 0;
+  return out;
+}
+
+}  // namespace hp2p::proto

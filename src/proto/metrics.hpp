@@ -1,0 +1,73 @@
+// Per-operation measurement records shared by all overlays; these map 1:1
+// to the metrics of Section 4 and Section 6 of the paper.
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.hpp"
+#include "sim/time.hpp"
+
+namespace hp2p::proto {
+
+/// Outcome of one lookup(key) call.
+struct LookupResult {
+  bool success = false;
+  /// Requester-side wall time from issuing the lookup to receiving the data
+  /// (Section 4.2 definition); meaningful only when success.
+  sim::SimTime latency{};
+  /// Overlay hops the request traversed before the data was found.
+  std::uint32_t request_hops = 0;
+  /// Number of peers this lookup contacted (the per-lookup contribution to
+  /// the paper's `connum`, Table 2).
+  std::uint32_t peers_contacted = 0;
+  /// Peer where the item was found; kNoPeer on failure.
+  PeerIndex found_at = kNoPeer;
+};
+
+/// Outcome of one join.
+struct JoinResult {
+  /// Time from sending the join request to being inserted (Section 4.1).
+  sim::SimTime latency{};
+  /// Overlay hops the join request passed.
+  std::uint32_t request_hops = 0;
+};
+
+/// Running aggregation of lookup outcomes.
+struct LookupStats {
+  std::uint64_t issued = 0;
+  std::uint64_t succeeded = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t total_peers_contacted = 0;  // the paper's connum
+  double total_success_latency_ms = 0;
+  std::uint64_t total_success_hops = 0;
+
+  void record(const LookupResult& r) {
+    ++issued;
+    total_peers_contacted += r.peers_contacted;
+    if (r.success) {
+      ++succeeded;
+      total_success_latency_ms += r.latency.as_millis();
+      total_success_hops += r.request_hops;
+    } else {
+      ++failed;
+    }
+  }
+
+  [[nodiscard]] double failure_ratio() const {
+    return issued == 0 ? 0.0
+                       : static_cast<double>(failed) /
+                             static_cast<double>(issued);
+  }
+  [[nodiscard]] double mean_success_latency_ms() const {
+    return succeeded == 0 ? 0.0
+                          : total_success_latency_ms /
+                                static_cast<double>(succeeded);
+  }
+  [[nodiscard]] double mean_success_hops() const {
+    return succeeded == 0 ? 0.0
+                          : static_cast<double>(total_success_hops) /
+                                static_cast<double>(succeeded);
+  }
+};
+
+}  // namespace hp2p::proto

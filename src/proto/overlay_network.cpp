@@ -1,0 +1,70 @@
+#include "proto/overlay_network.hpp"
+
+#include <utility>
+
+namespace hp2p::proto {
+
+OverlayNetwork::OverlayNetwork(sim::Simulator& simulator,
+                               const net::Underlay& underlay,
+                               OverlayNetworkOptions options)
+    : simulator_(simulator), underlay_(underlay), options_(options),
+      loss_rng_(options.loss_seed) {
+  if (options_.track_link_stress) {
+    link_stress_.emplace(underlay_.topology().graph.num_edges());
+  }
+}
+
+PeerIndex OverlayNetwork::add_peer(HostIndex host) {
+  hosts_.push_back(host);
+  alive_.push_back(true);
+  sent_by_.push_back(0);
+  received_by_.push_back(0);
+  return PeerIndex{static_cast<std::uint32_t>(hosts_.size() - 1)};
+}
+
+sim::SimTime OverlayNetwork::hop_latency(PeerIndex from, PeerIndex to,
+                                         std::uint32_t bytes) const {
+  const HostIndex src = host_of(from);
+  const HostIndex dst = host_of(to);
+  sim::SimTime delay = underlay_.latency(src, dst);
+  if (options_.model_transmission_delay) {
+    delay += underlay_.transmission_delay(src, dst, bytes);
+  }
+  return delay;
+}
+
+void OverlayNetwork::send(PeerIndex from, PeerIndex to, TrafficClass cls,
+                          std::uint32_t bytes, Delivery deliver) {
+  if (!alive(from)) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  if (options_.loss_rate > 0.0 && loss_rng_.chance(options_.loss_rate)) {
+    ++stats_.messages_lost;  // lost in transit; sender pays nothing extra
+    return;
+  }
+  ++stats_.messages_sent;
+  ++sent_by_[from.value()];
+  stats_.bytes_sent += bytes;
+  ++stats_.per_class_messages[static_cast<std::size_t>(cls)];
+  stats_.per_class_bytes[static_cast<std::size_t>(cls)] += bytes;
+
+  if (link_stress_) {
+    underlay_.for_each_path_edge(host_of(from), host_of(to),
+                                 [&](net::EdgeIndex e) { link_stress_->bump(e); });
+  }
+
+  const sim::SimTime delay = hop_latency(from, to, bytes);
+  simulator_.schedule_after(
+      delay, [this, to, deliver = std::move(deliver)]() {
+        if (!alive(to)) {
+          ++stats_.messages_dropped;
+          return;
+        }
+        ++stats_.messages_delivered;
+        ++received_by_[to.value()];
+        deliver();
+      });
+}
+
+}  // namespace hp2p::proto

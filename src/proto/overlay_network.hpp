@@ -1,0 +1,142 @@
+// Overlay message transport.
+//
+// All three overlays (Chord baseline, Gnutella baseline, hybrid system) move
+// messages through this class.  It is deliberately type-erased: a "message"
+// is a closure that runs at the receiver when delivery completes, so each
+// protocol keeps fully typed handlers while the transport provides the
+// shared physics -- propagation delay from the underlay shortest path,
+// optional access-link transmission delay (Section 5.1 heterogeneity),
+// silent drops to crashed peers, and the accounting every experiment needs
+// (message counts, bytes, link stress).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "net/underlay.hpp"
+#include "sim/simulator.hpp"
+
+namespace hp2p::proto {
+
+/// Traffic classes, for per-category accounting in the benches.
+enum class TrafficClass : std::uint8_t {
+  kControl,    // join/leave/stabilization handshakes
+  kQuery,      // lookup requests (flooding / ring forwarding)
+  kData,       // data-item transfers (stores, lookup replies)
+  kHeartbeat,  // HELLO and acknowledgment messages
+  kCount_,     // sentinel
+};
+
+inline constexpr std::size_t kNumTrafficClasses =
+    static_cast<std::size_t>(TrafficClass::kCount_);
+
+/// Nominal wire sizes (bytes) per message family.  Only ratios matter: they
+/// feed the transmission-delay term and the bandwidth accounting.
+inline constexpr std::uint32_t kControlBytes = 64;
+inline constexpr std::uint32_t kQueryBytes = 128;
+inline constexpr std::uint32_t kDataBytes = 8192;
+inline constexpr std::uint32_t kHeartbeatBytes = 32;
+
+/// Aggregate transport counters.
+struct NetworkStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;  // receiver dead at delivery time
+  std::uint64_t messages_lost = 0;     // random in-transit loss
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t per_class_messages[kNumTrafficClasses] = {};
+  std::uint64_t per_class_bytes[kNumTrafficClasses] = {};
+
+  [[nodiscard]] std::uint64_t class_messages(TrafficClass c) const {
+    return per_class_messages[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] std::uint64_t class_bytes(TrafficClass c) const {
+    return per_class_bytes[static_cast<std::size_t>(c)];
+  }
+};
+
+/// Transport options.
+struct OverlayNetworkOptions {
+  /// Adds bytes/access-link-capacity to every hop (Section 5.1 model).
+  bool model_transmission_delay = false;
+  /// Tracks per-physical-edge message copies (link stress, costs one path
+  /// walk per message).
+  bool track_link_stress = false;
+  /// Probability that any message is silently lost in transit
+  /// (failure-injection knob; 0 = reliable, the paper's assumption).
+  double loss_rate = 0.0;
+  /// Seed of the loss process (independent of protocol randomness).
+  std::uint64_t loss_seed = 0x10552eed;
+};
+
+/// The transport.  One instance per simulation replica.
+class OverlayNetwork {
+ public:
+  using Delivery = std::function<void()>;
+
+  OverlayNetwork(sim::Simulator& simulator, const net::Underlay& underlay,
+                 OverlayNetworkOptions options = {});
+
+  /// Registers a peer living on `host`; returns its dense index.
+  PeerIndex add_peer(HostIndex host);
+
+  [[nodiscard]] std::uint32_t num_peers() const {
+    return static_cast<std::uint32_t>(hosts_.size());
+  }
+  [[nodiscard]] HostIndex host_of(PeerIndex peer) const {
+    return hosts_[peer.value()];
+  }
+  [[nodiscard]] bool alive(PeerIndex peer) const {
+    return alive_[peer.value()];
+  }
+
+  /// Marks a peer dead (crash) or resurrected.  In-flight messages to a dead
+  /// peer are dropped at delivery time -- exactly the paper's crash model.
+  void set_alive(PeerIndex peer, bool is_alive) {
+    alive_[peer.value()] = is_alive;
+  }
+
+  /// Sends one overlay message: schedules `deliver` at
+  /// now + propagation(+transmission).  No-op (counted as dropped) when the
+  /// sender is dead; delivery is suppressed when the receiver is dead then.
+  void send(PeerIndex from, PeerIndex to, TrafficClass cls,
+            std::uint32_t bytes, Delivery deliver);
+
+  /// Latency of a single overlay hop, as send() would charge it.
+  [[nodiscard]] sim::SimTime hop_latency(PeerIndex from, PeerIndex to,
+                                         std::uint32_t bytes) const;
+
+  /// Messages this peer has sent / had delivered to it -- the raw material
+  /// of the paper's t-peer vs s-peer load-imbalance argument (Section 5.1).
+  [[nodiscard]] std::uint64_t messages_sent_by(PeerIndex peer) const {
+    return sent_by_[peer.value()];
+  }
+  [[nodiscard]] std::uint64_t messages_received_by(PeerIndex peer) const {
+    return received_by_[peer.value()];
+  }
+
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  [[nodiscard]] const net::Underlay& underlay() const { return underlay_; }
+  [[nodiscard]] sim::Simulator& simulator() { return simulator_; }
+  [[nodiscard]] const net::LinkStress* link_stress() const {
+    return link_stress_ ? &*link_stress_ : nullptr;
+  }
+
+ private:
+  sim::Simulator& simulator_;
+  const net::Underlay& underlay_;
+  OverlayNetworkOptions options_;
+  std::vector<HostIndex> hosts_;
+  std::vector<bool> alive_;
+  std::vector<std::uint64_t> sent_by_;
+  std::vector<std::uint64_t> received_by_;
+  NetworkStats stats_;
+  std::optional<net::LinkStress> link_stress_;
+  Rng loss_rng_;
+};
+
+}  // namespace hp2p::proto

@@ -1,0 +1,62 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+namespace hp2p::sim {
+
+TimerId Simulator::schedule_at(SimTime when, Action action) {
+  if (when < now_) when = now_;  // never schedule into the past
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(HeapItem{when, seq});
+  pending_.emplace(seq, std::move(action));
+  ++stats_.events_scheduled;
+  return TimerId{seq};
+}
+
+bool Simulator::cancel(TimerId id) {
+  if (!id.valid()) return false;
+  const auto erased = pending_.erase(id.seq_);
+  if (erased != 0) ++stats_.events_cancelled;
+  return erased != 0;
+}
+
+bool Simulator::pop_live(HeapItem& out, Action& action) {
+  while (!heap_.empty()) {
+    const HeapItem top = heap_.top();
+    heap_.pop();
+    auto it = pending_.find(top.seq);
+    if (it == pending_.end()) continue;  // cancelled; skip the corpse
+    action = std::move(it->second);
+    pending_.erase(it);
+    out = top;
+    return true;
+  }
+  return false;
+}
+
+bool Simulator::step() {
+  HeapItem item{};
+  Action action;
+  if (!pop_live(item, action)) return false;
+  now_ = item.when;
+  ++stats_.events_executed;
+  action();
+  return true;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::run_until(SimTime deadline) {
+  for (;;) {
+    // Peek the next live event without executing it.
+    while (!heap_.empty() && !pending_.contains(heap_.top().seq)) heap_.pop();
+    if (heap_.empty() || heap_.top().when > deadline) break;
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace hp2p::sim

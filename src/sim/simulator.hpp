@@ -1,0 +1,108 @@
+// Discrete-event simulation kernel.
+//
+// Substitutes for the NS2 scheduler the paper ran on: a single-threaded,
+// deterministic event loop.  Events at equal timestamps execute in the order
+// they were scheduled (a monotone sequence number breaks ties), so a run is
+// a pure function of (parameters, seed).
+//
+// Cancellation is lazy: cancel() marks the entry and the queue skips it on
+// pop, which keeps schedule/cancel O(log n) without heap surgery.  The
+// protocols cancel timers constantly (every HELLO reset), so this matters.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace hp2p::sim {
+
+/// Handle to a scheduled event; valid until the event fires or is cancelled.
+class TimerId {
+ public:
+  constexpr TimerId() = default;
+  [[nodiscard]] constexpr bool valid() const { return seq_ != 0; }
+  friend constexpr bool operator==(TimerId, TimerId) = default;
+
+ private:
+  friend class Simulator;
+  constexpr explicit TimerId(std::uint64_t seq) : seq_(seq) {}
+  std::uint64_t seq_{0};  // 0 = null handle
+};
+
+/// Counters the kernel maintains; exposed for tests and microbenchmarks.
+struct SimulatorStats {
+  std::uint64_t events_scheduled = 0;
+  std::uint64_t events_executed = 0;
+  std::uint64_t events_cancelled = 0;
+};
+
+/// The event loop.  Not thread-safe by design: replicas parallelize at the
+/// whole-simulator granularity (one Simulator per thread).
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `action` at absolute time `when`; clamps to now() if earlier.
+  TimerId schedule_at(SimTime when, Action action);
+
+  /// Schedules `action` `delay` after now.
+  TimerId schedule_after(Duration delay, Action action) {
+    return schedule_at(now_ + delay, std::move(action));
+  }
+
+  /// Cancels a pending event.  Returns false when the handle is null,
+  /// already fired, or already cancelled.
+  bool cancel(TimerId id);
+
+  /// True when no live events remain.
+  [[nodiscard]] bool idle() const { return pending_.empty(); }
+
+  /// Number of live (not yet fired, not cancelled) events.
+  [[nodiscard]] std::size_t pending_events() const { return pending_.size(); }
+
+  /// Runs a single event; returns false when the queue is empty.
+  bool step();
+
+  /// Runs until the queue drains.
+  void run();
+
+  /// Runs events with time <= deadline, then sets now() = deadline.
+  void run_until(SimTime deadline);
+
+  [[nodiscard]] const SimulatorStats& stats() const { return stats_; }
+
+ private:
+  struct HeapItem {
+    SimTime when;
+    std::uint64_t seq;
+  };
+  struct Later {
+    bool operator()(const HeapItem& a, const HeapItem& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pops heap items until one still present in pending_ surfaces.
+  /// Returns false when nothing live remains.
+  bool pop_live(HeapItem& out, Action& action);
+
+  SimTime now_{};
+  std::uint64_t next_seq_ = 1;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, Later> heap_;
+  std::unordered_map<std::uint64_t, Action> pending_;  // live events by seq
+  SimulatorStats stats_;
+};
+
+}  // namespace hp2p::sim

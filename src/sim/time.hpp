@@ -1,0 +1,67 @@
+// Simulated time.
+//
+// Integral microseconds: the event queue never accumulates floating-point
+// error, and equality comparisons (needed for deterministic tie-breaking)
+// are exact.  This replaces NS2's scheduler clock.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <ostream>
+
+namespace hp2p::sim {
+
+/// A point in simulated time, in microseconds since the start of the run.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t micros) : micros_(micros) {}
+
+  [[nodiscard]] static constexpr SimTime micros(std::int64_t v) {
+    return SimTime{v};
+  }
+  [[nodiscard]] static constexpr SimTime millis(std::int64_t v) {
+    return SimTime{v * 1000};
+  }
+  [[nodiscard]] static constexpr SimTime seconds(double v) {
+    return SimTime{static_cast<std::int64_t>(v * 1e6)};
+  }
+  /// Largest representable time; used as "never" for disabled timers.
+  [[nodiscard]] static constexpr SimTime never() {
+    return SimTime{INT64_MAX};
+  }
+
+  [[nodiscard]] constexpr std::int64_t as_micros() const { return micros_; }
+  [[nodiscard]] constexpr double as_millis() const {
+    return static_cast<double>(micros_) / 1e3;
+  }
+  [[nodiscard]] constexpr double as_seconds() const {
+    return static_cast<double>(micros_) / 1e6;
+  }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    return SimTime{a.micros_ + b.micros_};
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) {
+    return SimTime{a.micros_ - b.micros_};
+  }
+  constexpr SimTime& operator+=(SimTime other) {
+    micros_ += other.micros_;
+    return *this;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, SimTime t) {
+    return os << t.as_millis() << "ms";
+  }
+
+ private:
+  std::int64_t micros_{0};
+};
+
+/// A duration is represented with the same type as a time point; the
+/// distinction is contextual (schedule_after takes a duration).
+using Duration = SimTime;
+
+}  // namespace hp2p::sim

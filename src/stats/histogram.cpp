@@ -1,0 +1,104 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hp2p::stats {
+
+Histogram::Histogram(double min, double max, std::size_t bins)
+    : min_(min), width_((max - min) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  assert(max > min && bins > 0);
+}
+
+std::size_t Histogram::bin_for(double sample) const {
+  if (sample < min_) return 0;
+  const auto raw = static_cast<std::size_t>((sample - min_) / width_);
+  return std::min(raw, counts_.size() - 1);
+}
+
+void Histogram::add(double sample) {
+  ++counts_[bin_for(sample)];
+  ++total_;
+}
+
+std::vector<PdfBin> Histogram::pdf() const {
+  std::vector<PdfBin> out;
+  if (total_ == 0) return out;
+  out.reserve(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    PdfBin bin;
+    bin.lo = min_ + static_cast<double>(i) * width_;
+    bin.hi = bin.lo + width_;
+    bin.count = counts_[i];
+    bin.mass = static_cast<double>(counts_[i]) / static_cast<double>(total_);
+    out.push_back(bin);
+  }
+  return out;
+}
+
+double Histogram::cdf_at(double x) const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t below = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double hi = min_ + static_cast<double>(i + 1) * width_;
+    if (hi <= x) {
+      below += counts_[i];
+    } else {
+      break;
+    }
+  }
+  return static_cast<double>(below) / static_cast<double>(total_);
+}
+
+void CountDistribution::add(std::uint64_t value) {
+  if (value >= counts_.size()) counts_.resize(value + 1, 0);
+  ++counts_[value];
+  ++total_;
+}
+
+double CountDistribution::fraction_zero() const {
+  if (total_ == 0) return 0.0;
+  const std::uint64_t zeros = counts_.empty() ? 0 : counts_[0];
+  return static_cast<double>(zeros) / static_cast<double>(total_);
+}
+
+double CountDistribution::fraction_below(std::uint64_t x) const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t below = 0;
+  for (std::uint64_t v = 0; v < x && v < counts_.size(); ++v) {
+    below += counts_[v];
+  }
+  return static_cast<double>(below) / static_cast<double>(total_);
+}
+
+std::uint64_t CountDistribution::max_value() const {
+  for (std::size_t v = counts_.size(); v > 0; --v) {
+    if (counts_[v - 1] != 0) return v - 1;
+  }
+  return 0;
+}
+
+std::vector<PdfBin> CountDistribution::to_pdf(std::size_t bins) const {
+  std::vector<PdfBin> out;
+  if (total_ == 0 || bins == 0) return out;
+  const double max = static_cast<double>(max_value()) + 1.0;
+  const double width = max / static_cast<double>(bins);
+  out.resize(bins);
+  for (std::size_t i = 0; i < bins; ++i) {
+    out[i].lo = static_cast<double>(i) * width;
+    out[i].hi = out[i].lo + width;
+  }
+  for (std::size_t v = 0; v < counts_.size(); ++v) {
+    if (counts_[v] == 0) continue;
+    auto bin = static_cast<std::size_t>(static_cast<double>(v) / width);
+    bin = std::min(bin, bins - 1);
+    out[bin].count += counts_[v];
+  }
+  for (auto& bin : out) {
+    bin.mass = static_cast<double>(bin.count) / static_cast<double>(total_);
+  }
+  return out;
+}
+
+}  // namespace hp2p::stats

@@ -1,0 +1,69 @@
+// Fixed-width-bin histogram and empirical pdf, used to regenerate Fig. 4
+// (probability density of data items per peer).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hp2p::stats {
+
+/// One bin of an empirical pdf: [lo, hi) with its probability mass.
+struct PdfBin {
+  double lo = 0;
+  double hi = 0;
+  double mass = 0;  // fraction of samples in the bin
+  std::uint64_t count = 0;
+};
+
+/// Histogram over [min, max) with `bins` equal-width bins.  Out-of-range
+/// samples clamp into the edge bins so no mass is silently lost.
+class Histogram {
+ public:
+  Histogram(double min, double max, std::size_t bins);
+
+  void add(double sample);
+
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bin_count(std::size_t i) const {
+    return counts_[i];
+  }
+
+  /// Empirical pdf: per-bin probability mass.  Empty when no samples.
+  [[nodiscard]] std::vector<PdfBin> pdf() const;
+
+  /// Fraction of samples with value <= x (empirical CDF at a point).
+  [[nodiscard]] double cdf_at(double x) const;
+
+ private:
+  [[nodiscard]] std::size_t bin_for(double sample) const;
+
+  double min_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Exact integer-valued distribution (value -> count); Fig. 4 is naturally
+/// integer "data items per peer", so the benches use this and only bin for
+/// display.
+class CountDistribution {
+ public:
+  void add(std::uint64_t value);
+
+  [[nodiscard]] std::uint64_t total_samples() const { return total_; }
+  /// Fraction of samples equal to zero ("peers without any data item").
+  [[nodiscard]] double fraction_zero() const;
+  /// Fraction of samples strictly below `x`.
+  [[nodiscard]] double fraction_below(std::uint64_t x) const;
+  /// Largest observed value.
+  [[nodiscard]] std::uint64_t max_value() const;
+  /// Collapses to an equal-width-bin pdf with `bins` bins over [0, max].
+  [[nodiscard]] std::vector<PdfBin> to_pdf(std::size_t bins) const;
+
+ private:
+  std::vector<std::uint64_t> counts_;  // counts_[v] = #samples with value v
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace hp2p::stats

@@ -1,0 +1,44 @@
+// Column-aligned console tables and CSV output.  Every bench binary prints
+// its figure/table through this so the output format is uniform and easy to
+// diff against EXPERIMENTS.md.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hp2p::stats {
+
+/// A simple row/column table.  Cells are preformatted strings; numeric
+/// helpers format with fixed precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent cell() calls append to it.
+  Table& row();
+  Table& cell(const std::string& text);
+  Table& cell(double value, int precision = 3);
+  Table& cell(std::uint64_t value);
+  Table& cell(std::int64_t value);
+
+  /// Pretty console rendering with aligned columns.
+  void print(std::ostream& os) const;
+
+  /// RFC-4180-ish CSV (no quoting needed for our numeric cells).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& row_cells(std::size_t i) const {
+    return rows_[i];
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper shared with benches).
+[[nodiscard]] std::string format_fixed(double value, int precision);
+
+}  // namespace hp2p::stats

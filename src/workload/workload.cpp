@@ -1,0 +1,79 @@
+#include "workload/workload.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace hp2p::workload {
+
+std::vector<WorkItem> uniform_corpus(std::size_t count,
+                                     std::uint64_t value_seed) {
+  std::vector<WorkItem> items;
+  items.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    WorkItem item;
+    item.key = "item-" + std::to_string(i);
+    item.id = hash_key(item.key);
+    item.value = mix64(value_seed ^ i);
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+DataId interest_band_id(Rng& rng, std::uint32_t interest,
+                        std::uint32_t num_interests) {
+  const std::uint64_t anchor = mix64(interest) & (kRingSize - 1);
+  const std::uint64_t band =
+      kRingSize / (std::uint64_t{64} * std::max(1u, num_interests));
+  return DataId{ring::reduce(anchor + rng.uniform(0, band))};
+}
+
+DataId random_id_in_arc(Rng& rng, PeerId lo, PeerId hi) {
+  const std::uint64_t span = lo == hi
+                                 ? kRingSize
+                                 : ring::distance_cw(lo.value(), hi.value());
+  const std::uint64_t offset = rng.uniform(1, span);
+  return DataId{ring::reduce(lo.value() + offset)};
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double total = 0;
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    total += 1.0 / std::pow(static_cast<double>(rank + 1), exponent);
+    cdf_[rank] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.uniform01();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(std::distance(cdf_.begin(), it));
+}
+
+std::vector<ChurnEvent> churn_schedule(Rng& rng, sim::Duration horizon,
+                                       double joins_per_second,
+                                       double leaves_per_second,
+                                       double crashes_per_second) {
+  std::vector<ChurnEvent> events;
+  const auto fill = [&](ChurnEvent::Kind kind, double rate) {
+    if (rate <= 0.0) return;
+    double t = 0.0;
+    const double end = horizon.as_seconds();
+    for (;;) {
+      t += rng.exponential(1.0 / rate);
+      if (t >= end) break;
+      events.push_back(ChurnEvent{kind, sim::SimTime::seconds(t)});
+    }
+  };
+  fill(ChurnEvent::Kind::kJoin, joins_per_second);
+  fill(ChurnEvent::Kind::kLeave, leaves_per_second);
+  fill(ChurnEvent::Kind::kCrash, crashes_per_second);
+  std::sort(events.begin(), events.end(),
+            [](const ChurnEvent& a, const ChurnEvent& b) { return a.at < b.at; });
+  return events;
+}
+
+}  // namespace hp2p::workload

@@ -1,0 +1,68 @@
+// Workload generation: key corpora, popularity distributions, churn
+// schedules, and interest-correlated keys for the Section 5.3 experiments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/hashing.hpp"
+#include "common/ids.hpp"
+#include "common/ring_math.hpp"
+#include "common/rng.hpp"
+#include "sim/time.hpp"
+
+namespace hp2p::workload {
+
+/// A synthetic data item to be inserted and later looked up.
+struct WorkItem {
+  std::string key;
+  DataId id{};
+  std::uint64_t value = 0;
+};
+
+/// Generates `count` distinct keys ("item-0".."item-N"); ids are the usual
+/// key hashes, uniform over the ring.
+[[nodiscard]] std::vector<WorkItem> uniform_corpus(std::size_t count,
+                                                   std::uint64_t value_seed);
+
+/// Uniformly random ring id strictly inside the clockwise arc (lo, hi];
+/// used to synthesize interest-local keys that belong to a known segment.
+[[nodiscard]] DataId random_id_in_arc(Rng& rng, PeerId lo, PeerId hi);
+
+/// Random id in the narrow band anchored at hash(interest) -- the naming
+/// convention of interest-tagged content (e.g. keys prefixed with their
+/// category).  All content of one interest hashes into one small arc, so an
+/// interest-based system (Section 5.3) serves it from one s-network.  The
+/// band width is the ring divided by 64*num_interests, comfortably inside a
+/// typical segment.
+[[nodiscard]] DataId interest_band_id(Rng& rng, std::uint32_t interest,
+                                      std::uint32_t num_interests);
+
+/// Zipf(s) sampler over ranks [0, n); rank 0 is the most popular.  Uses the
+/// classical inverse-CDF over precomputed cumulative weights.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double exponent);
+
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+  [[nodiscard]] std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// One membership-churn event.
+struct ChurnEvent {
+  enum class Kind : std::uint8_t { kJoin, kLeave, kCrash };
+  Kind kind = Kind::kJoin;
+  sim::SimTime at{};
+};
+
+/// Poisson-ish churn schedule over a horizon: events are exponentially
+/// spaced with the given mean inter-arrival times (0 rate = none).
+[[nodiscard]] std::vector<ChurnEvent> churn_schedule(
+    Rng& rng, sim::Duration horizon, double joins_per_second,
+    double leaves_per_second, double crashes_per_second);
+
+}  // namespace hp2p::workload

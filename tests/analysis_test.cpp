@@ -1,0 +1,132 @@
+// Tests for the Section 4 closed-form models.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/model.hpp"
+
+namespace hp2p::analysis {
+namespace {
+
+ModelParams make(double ps, double delta = 3, double ttl = 4,
+                 double n = 1000) {
+  ModelParams p;
+  p.n = n;
+  p.ps = ps;
+  p.delta = delta;
+  p.ttl = ttl;
+  return p;
+}
+
+TEST(Model, SNetworkSizeMatchesFormula) {
+  EXPECT_DOUBLE_EQ(snetwork_size(make(0.5)), 1.0);
+  EXPECT_DOUBLE_EQ(snetwork_size(make(0.9)), 0.9 / 0.1);
+  EXPECT_DOUBLE_EQ(snetwork_size(make(0.0)), 0.0);
+}
+
+TEST(Model, LocalHitProbabilitySmallAndIncreasing) {
+  const double p_low = local_hit_probability(make(0.3));
+  const double p_high = local_hit_probability(make(0.9));
+  EXPECT_GT(p_high, p_low);
+  EXPECT_LT(p_high, 0.1);  // 9 peers out of 1000
+}
+
+TEST(Model, TPeerJoinHopsDecreaseWithPs) {
+  // More s-peers -> smaller ring -> shorter t-joins (Section 4.1).
+  double prev = 1e9;
+  for (double ps : {0.0, 0.3, 0.6, 0.9}) {
+    const double hops = tpeer_join_hops(make(ps));
+    EXPECT_LT(hops, prev);
+    prev = hops;
+  }
+}
+
+TEST(Model, SPeerJoinHopsIncreaseWithPs) {
+  double prev = -1;
+  for (double ps : {0.5, 0.7, 0.9, 0.97}) {
+    const double hops = speer_join_hops(make(ps));
+    EXPECT_GE(hops, prev);
+    prev = hops;
+  }
+}
+
+TEST(Model, LargerDeltaShortensSpeerJoins) {
+  // Fig. 3a: given ps, larger delta -> shorter join latency.
+  const double d2 = speer_join_hops(make(0.9, 2));
+  const double d8 = speer_join_hops(make(0.9, 8));
+  EXPECT_GT(d2, d8);
+}
+
+TEST(Model, JoinLatencyHasInteriorMinimum) {
+  // Fig. 3a's headline: the hybrid beats both pure systems.
+  const double at0 = average_join_hops(make(0.0, 2));
+  const double at_opt = average_join_hops(make(0.72, 2));
+  EXPECT_LT(at_opt, at0);
+  const double opt = optimal_ps_for_join(1000, 2);
+  EXPECT_GT(opt, 0.5);
+  EXPECT_LT(opt, 0.95);
+}
+
+TEST(Model, OptimalPsNearPaperValue) {
+  // "the shortest join latency is achieved when ps is around 0.7 for
+  // delta=2"
+  const double opt = optimal_ps_for_join(1000, 2);
+  EXPECT_NEAR(opt, 0.72, 0.12);
+}
+
+TEST(Model, OutOfRangeGrowsWithPs) {
+  // Eq. (2) conclusion: "lookup failure ratio increases if ps increases".
+  const double low = peers_out_of_flood_range(make(0.6, 3, 1));
+  const double high = peers_out_of_flood_range(make(0.95, 3, 1));
+  EXPECT_GE(high, low);
+}
+
+TEST(Model, OutOfRangeShrinksWithTtl) {
+  // "...while it decreases when ttl increases."
+  const double t1 = peers_out_of_flood_range(make(0.95, 3, 1));
+  const double t4 = peers_out_of_flood_range(make(0.95, 3, 4));
+  EXPECT_GE(t1, t4);
+}
+
+TEST(Model, FailureRatioBoundedAndZeroForSmallPs) {
+  for (double ps : {0.0, 0.2, 0.4}) {
+    EXPECT_DOUBLE_EQ(lookup_failure_ratio(make(ps, 3, 2)), 0.0)
+        << "ps=" << ps;
+  }
+  for (double ps : {0.9, 0.97}) {
+    const double r = lookup_failure_ratio(make(ps, 3, 1));
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0);
+  }
+}
+
+TEST(Model, LookupHopsDecreaseWithPsWhenConstrained) {
+  // Fig. 3b / Fig. 6a: structured slowest, more s-peers shorter.
+  const double at0 = lookup_hops_constrained(make(0.05));
+  const double at9 = lookup_hops_constrained(make(0.9));
+  EXPECT_GT(at0, at9);
+}
+
+TEST(Model, LargerDeltaShortensConstrainedLookups) {
+  const double d2 = lookup_hops_constrained(make(0.95, 2));
+  const double d8 = lookup_hops_constrained(make(0.95, 8));
+  EXPECT_GE(d2, d8);
+}
+
+TEST(Model, UnconstrainedLatencyBelowRingPlusTwo) {
+  const auto p = make(0.5);
+  EXPECT_LE(lookup_hops_unconstrained(p),
+            2.0 + tpeer_join_hops(p) + 1.0);
+}
+
+TEST(Model, DegenerateEndsAreFinite) {
+  for (double ps : {0.0, 0.999, 1.0}) {
+    EXPECT_TRUE(std::isfinite(average_join_hops(make(std::min(ps, 0.999)))));
+    EXPECT_TRUE(
+        std::isfinite(lookup_hops_constrained(make(std::min(ps, 0.999)))));
+  }
+}
+
+}  // namespace
+}  // namespace hp2p::analysis

@@ -1,0 +1,227 @@
+// Unit tests for the common module: ids, ring arithmetic, hashing, RNG.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "common/hashing.hpp"
+#include "common/ids.hpp"
+#include "common/ring_math.hpp"
+#include "common/rng.hpp"
+
+namespace hp2p {
+namespace {
+
+TEST(Ids, StrongTypesCompare) {
+  const PeerId a{5};
+  const PeerId b{9};
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, PeerId{5});
+  EXPECT_NE(a, b);
+}
+
+TEST(Ids, HashableInUnorderedSet) {
+  std::unordered_set<PeerId> set;
+  set.insert(PeerId{1});
+  set.insert(PeerId{1});
+  set.insert(PeerId{2});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(RingMath, ReduceWraps) {
+  EXPECT_EQ(ring::reduce(kRingSize), 0u);
+  EXPECT_EQ(ring::reduce(kRingSize + 7), 7u);
+  EXPECT_EQ(ring::reduce(kRingSize - 1), kRingSize - 1);
+}
+
+TEST(RingMath, ArcOpenClosedBasic) {
+  EXPECT_TRUE(ring::in_arc_open_closed(5, 2, 8));
+  EXPECT_TRUE(ring::in_arc_open_closed(8, 2, 8));  // closed at b
+  EXPECT_FALSE(ring::in_arc_open_closed(2, 2, 8));  // open at a
+  EXPECT_FALSE(ring::in_arc_open_closed(9, 2, 8));
+}
+
+TEST(RingMath, ArcOpenClosedWrapping) {
+  // Arc from near the top of the space back around through zero.
+  const std::uint64_t a = kRingSize - 10;
+  EXPECT_TRUE(ring::in_arc_open_closed(kRingSize - 5, a, 5));
+  EXPECT_TRUE(ring::in_arc_open_closed(0, a, 5));
+  EXPECT_TRUE(ring::in_arc_open_closed(5, a, 5));
+  EXPECT_FALSE(ring::in_arc_open_closed(6, a, 5));
+  EXPECT_FALSE(ring::in_arc_open_closed(a, a, 5));
+}
+
+TEST(RingMath, SingleNodeRingOwnsEverything) {
+  EXPECT_TRUE(ring::in_arc_open_closed(123, 42, 42));
+  EXPECT_TRUE(ring::in_arc_open_closed(42, 42, 42));
+}
+
+TEST(RingMath, OpenOpenExcludesEndpoints) {
+  EXPECT_TRUE(ring::in_arc_open_open(5, 2, 8));
+  EXPECT_FALSE(ring::in_arc_open_open(8, 2, 8));
+  EXPECT_FALSE(ring::in_arc_open_open(2, 2, 8));
+  // wrap
+  EXPECT_TRUE(ring::in_arc_open_open(1, kRingSize - 2, 3));
+}
+
+TEST(RingMath, DistanceCw) {
+  EXPECT_EQ(ring::distance_cw(10, 15), 5u);
+  EXPECT_EQ(ring::distance_cw(15, 10), kRingSize - 5);
+  EXPECT_EQ(ring::distance_cw(7, 7), 0u);
+}
+
+TEST(RingMath, MidpointCwHalvesTheArc) {
+  EXPECT_EQ(ring::midpoint_cw(10, 20), 15u);
+  // Wrapping arc: from kRingSize-4 to 4 spans 8; midpoint lands at 0.
+  EXPECT_EQ(ring::midpoint_cw(kRingSize - 4, 4), 0u);
+}
+
+TEST(RingMath, MidpointLiesInsideArc) {
+  Rng rng{99};
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t a = rng.uniform(0, kRingSize - 1);
+    const std::uint64_t b = rng.uniform(0, kRingSize - 1);
+    if (ring::distance_cw(a, b) < 2) continue;  // no interior point
+    const std::uint64_t m = ring::midpoint_cw(a, b);
+    EXPECT_TRUE(ring::in_arc_open_open(m, a, b) || m == a)
+        << "a=" << a << " b=" << b << " m=" << m;
+  }
+}
+
+TEST(RingMath, FingerStartPowersOfTwo) {
+  EXPECT_EQ(ring::finger_start(0, 0), 1u);
+  EXPECT_EQ(ring::finger_start(0, 5), 32u);
+  EXPECT_EQ(ring::finger_start(kRingSize - 1, 0), 0u);
+}
+
+TEST(RingMath, OwnershipMatchesArc) {
+  const PeerId owner{100};
+  const PeerId pred{50};
+  EXPECT_TRUE(ring::owns(owner, pred, DataId{100}));
+  EXPECT_TRUE(ring::owns(owner, pred, DataId{51}));
+  EXPECT_FALSE(ring::owns(owner, pred, DataId{50}));
+  EXPECT_FALSE(ring::owns(owner, pred, DataId{101}));
+}
+
+TEST(Hashing, Fnv1aKnownValues) {
+  // FNV-1a test vectors.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+}
+
+TEST(Hashing, KeysStayInRingSpace) {
+  for (const char* key : {"file.txt", "movie.mkv", "", "x", "longer key 123"}) {
+    EXPECT_LT(hash_key(key).value(), kRingSize);
+  }
+}
+
+TEST(Hashing, DistinctKeysRarelyCollide) {
+  std::set<std::uint64_t> ids;
+  for (int i = 0; i < 10000; ++i) {
+    ids.insert(hash_key("key-" + std::to_string(i)).value());
+  }
+  EXPECT_GE(ids.size(), 9995u);  // 32-bit space, 10k keys: ~0 collisions
+}
+
+TEST(Hashing, SequentialKeysSpreadAcrossRing) {
+  // Avalanche check: adjacent keys should not cluster in one ring quadrant.
+  std::vector<int> quadrant(4, 0);
+  for (int i = 0; i < 4000; ++i) {
+    const auto id = hash_key("item" + std::to_string(i)).value();
+    ++quadrant[id / (kRingSize / 4)];
+  }
+  for (std::size_t q = 0; q < 4; ++q) {
+    EXPECT_GT(quadrant[q], 800) << "quadrant " << q;
+    EXPECT_LT(quadrant[q], 1200) << "quadrant " << q;
+  }
+}
+
+TEST(Rng, Deterministic) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LE(same, 1);
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng base{7};
+  Rng c1 = base.fork(1);
+  Rng c2 = base.fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (c1() == c2());
+  EXPECT_LE(same, 1);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng{3};
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng rng{4};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  Rng rng{5};
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng{6};
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng{7};
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng{8};
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.15);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng{9};
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, IndexIsUniformish) {
+  Rng rng{10};
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 25000; ++i) ++counts[rng.index(5)];
+  for (int c : counts) EXPECT_NEAR(c, 5000, 400);
+}
+
+}  // namespace
+}  // namespace hp2p

@@ -1,0 +1,127 @@
+// Unit tests for the shared per-peer data store.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "proto/data_store.hpp"
+
+namespace hp2p::proto {
+namespace {
+
+DataItem make(const std::string& key, std::uint64_t value = 0) {
+  return DataItem{hash_key(key), key, value, kNoPeer};
+}
+
+TEST(DataStore, InsertAndFind) {
+  DataStore store;
+  store.insert(make("a", 1));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_FALSE(store.empty());
+  const DataItem* item = store.find(hash_key("a"));
+  ASSERT_NE(item, nullptr);
+  EXPECT_EQ(item->key, "a");
+  EXPECT_EQ(item->value, 1u);
+  EXPECT_EQ(store.find(hash_key("b")), nullptr);
+}
+
+TEST(DataStore, FindKeyDistinguishesChainedItems) {
+  DataStore store;
+  // Force two keys onto the same d_id by constructing items directly.
+  DataItem x{DataId{7}, "x", 1, kNoPeer};
+  DataItem y{DataId{7}, "y", 2, kNoPeer};
+  store.insert(x);
+  store.insert(y);
+  EXPECT_EQ(store.size(), 2u);
+  const DataItem* found = store.find_key(DataId{7}, "y");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->value, 2u);
+  EXPECT_EQ(store.find_key(DataId{7}, "z"), nullptr);
+  // Plain find returns the first of the chain.
+  EXPECT_NE(store.find(DataId{7}), nullptr);
+}
+
+TEST(DataStore, ExtractArcMovesOnlyOwnedIds) {
+  DataStore store;
+  store.insert(DataItem{DataId{10}, "in1", 0, kNoPeer});
+  store.insert(DataItem{DataId{20}, "in2", 0, kNoPeer});
+  store.insert(DataItem{DataId{30}, "out", 0, kNoPeer});
+  auto moved = store.extract_arc(PeerId{5}, PeerId{25});
+  EXPECT_EQ(moved.size(), 2u);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_NE(store.find(DataId{30}), nullptr);
+  EXPECT_EQ(store.find(DataId{10}), nullptr);
+}
+
+TEST(DataStore, ExtractArcWrapsAroundZero) {
+  DataStore store;
+  store.insert(DataItem{DataId{kRingSize - 2}, "high", 0, kNoPeer});
+  store.insert(DataItem{DataId{3}, "low", 0, kNoPeer});
+  store.insert(DataItem{DataId{kRingSize / 2}, "mid", 0, kNoPeer});
+  auto moved = store.extract_arc(PeerId{kRingSize - 5}, PeerId{5});
+  EXPECT_EQ(moved.size(), 2u);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_NE(store.find(DataId{kRingSize / 2}), nullptr);
+}
+
+TEST(DataStore, ExtractArcBoundarySemantics) {
+  // (from, to]: excludes `from`, includes `to`.
+  DataStore store;
+  store.insert(DataItem{DataId{5}, "from", 0, kNoPeer});
+  store.insert(DataItem{DataId{9}, "to", 0, kNoPeer});
+  auto moved = store.extract_arc(PeerId{5}, PeerId{9});
+  ASSERT_EQ(moved.size(), 1u);
+  EXPECT_EQ(moved.front().key, "to");
+}
+
+TEST(DataStore, ExtractAllEmptiesStore) {
+  DataStore store;
+  for (int i = 0; i < 20; ++i) store.insert(make("k" + std::to_string(i)));
+  auto all = store.extract_all();
+  EXPECT_EQ(all.size(), 20u);
+  EXPECT_TRUE(store.empty());
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(DataStore, ForEachVisitsEverything) {
+  DataStore store;
+  for (int i = 0; i < 15; ++i) {
+    store.insert(make("k" + std::to_string(i), static_cast<std::uint64_t>(i)));
+  }
+  std::uint64_t sum = 0;
+  std::size_t count = 0;
+  store.for_each([&](const DataItem& item) {
+    sum += item.value;
+    ++count;
+  });
+  EXPECT_EQ(count, 15u);
+  EXPECT_EQ(sum, 105u);
+}
+
+TEST(DataStore, ArcExtractionConservesItems) {
+  // Property: splitting a store along random arcs never loses or
+  // duplicates an item.
+  Rng rng{77};
+  for (int trial = 0; trial < 50; ++trial) {
+    DataStore store;
+    const std::size_t n = 100;
+    for (std::size_t i = 0; i < n; ++i) {
+      store.insert(
+          DataItem{DataId{rng.uniform(0, kRingSize - 1)},
+                   "item" + std::to_string(i), i, kNoPeer});
+    }
+    const PeerId a{rng.uniform(0, kRingSize - 1)};
+    const PeerId b{rng.uniform(0, kRingSize - 1)};
+    const auto moved = store.extract_arc(a, b);
+    EXPECT_EQ(moved.size() + store.size(), n);
+    for (const auto& item : moved) {
+      EXPECT_TRUE(ring::in_arc_open_closed(item.id.value(), a.value(),
+                                           b.value()));
+    }
+    store.for_each([&](const DataItem& item) {
+      EXPECT_FALSE(ring::in_arc_open_closed(item.id.value(), a.value(),
+                                            b.value()));
+    });
+  }
+}
+
+}  // namespace
+}  // namespace hp2p::proto

@@ -1,0 +1,247 @@
+// Unit tests for the underlay: graph, transit-stub generation, routing.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "net/graph.hpp"
+#include "net/transit_stub.hpp"
+#include "net/underlay.hpp"
+
+namespace hp2p::net {
+namespace {
+
+TEST(Graph, AddNodesAndEdges) {
+  Graph g{3};
+  EXPECT_EQ(g.num_nodes(), 3u);
+  const EdgeIndex e = g.add_edge(0, 1, 100);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.edge_latency_us(e), 100u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(Graph, NeighborsSymmetric) {
+  Graph g{2};
+  g.add_edge(0, 1, 7);
+  ASSERT_EQ(g.neighbors(0).size(), 1u);
+  ASSERT_EQ(g.neighbors(1).size(), 1u);
+  EXPECT_EQ(g.neighbors(0)[0].to, 1u);
+  EXPECT_EQ(g.neighbors(1)[0].to, 0u);
+  EXPECT_EQ(g.neighbors(0)[0].edge, g.neighbors(1)[0].edge);
+}
+
+TEST(Graph, Connectivity) {
+  Graph g{4};
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 1);
+  EXPECT_FALSE(g.connected());
+  g.add_edge(2, 3, 1);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(Graph, EmptyGraphConnected) {
+  Graph g{0};
+  EXPECT_TRUE(g.connected());
+  Graph one{1};
+  EXPECT_TRUE(one.connected());
+}
+
+TEST(TransitStub, TotalNodesFormula) {
+  TransitStubParams p;
+  EXPECT_EQ(p.total_nodes(),
+            p.transit_domains * p.transit_nodes_per_domain *
+                (1 + p.stub_domains_per_transit_node * p.stub_nodes_per_domain));
+}
+
+TEST(TransitStub, ForTotalNodesReachesTarget) {
+  for (std::uint32_t n : {100u, 500u, 1000u, 2000u}) {
+    const auto p = TransitStubParams::for_total_nodes(n);
+    EXPECT_GE(p.total_nodes(), n);
+    EXPECT_LE(p.total_nodes(), n + 48u);  // at most one extra per stub domain
+  }
+}
+
+TEST(TransitStub, GeneratesConnectedTopology) {
+  Rng rng{11};
+  const auto p = TransitStubParams::for_total_nodes(300);
+  const Topology topo = generate_transit_stub(p, rng);
+  EXPECT_TRUE(topo.graph.connected());
+  EXPECT_EQ(topo.graph.num_nodes(), p.total_nodes());
+  EXPECT_EQ(topo.num_transit_nodes,
+            p.transit_domains * p.transit_nodes_per_domain);
+}
+
+TEST(TransitStub, RolesAssigned) {
+  Rng rng{12};
+  const auto p = TransitStubParams::for_total_nodes(200);
+  const Topology topo = generate_transit_stub(p, rng);
+  std::uint32_t transit = 0;
+  for (auto r : topo.role) transit += (r == NodeRole::kTransit);
+  EXPECT_EQ(transit, topo.num_transit_nodes);
+  // Transit nodes come first.
+  for (std::uint32_t i = 0; i < topo.num_transit_nodes; ++i) {
+    EXPECT_EQ(topo.role[i], NodeRole::kTransit);
+  }
+}
+
+TEST(TransitStub, DeterministicForSeed) {
+  const auto p = TransitStubParams::for_total_nodes(150);
+  Rng r1{77};
+  Rng r2{77};
+  const Topology a = generate_transit_stub(p, r1);
+  const Topology b = generate_transit_stub(p, r2);
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  for (std::size_t e = 0; e < a.graph.num_edges(); ++e) {
+    EXPECT_EQ(a.graph.edge_latency_us(static_cast<EdgeIndex>(e)),
+              b.graph.edge_latency_us(static_cast<EdgeIndex>(e)));
+  }
+}
+
+class UnderlayTest : public ::testing::Test {
+ protected:
+  UnderlayTest() : rng_(21) {
+    auto p = TransitStubParams::for_total_nodes(200);
+    underlay_.emplace(generate_transit_stub(p, rng_), rng_);
+  }
+  Rng rng_;
+  std::optional<Underlay> underlay_;
+};
+
+TEST_F(UnderlayTest, SelfLatencyZero) {
+  for (std::uint32_t i = 0; i < underlay_->num_hosts(); i += 17) {
+    EXPECT_EQ(underlay_->latency(HostIndex{i}, HostIndex{i}),
+              sim::SimTime{});
+  }
+}
+
+TEST_F(UnderlayTest, LatencySymmetricForUndirectedGraph) {
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    const HostIndex a{i};
+    const HostIndex b{underlay_->num_hosts() - 1 - i};
+    EXPECT_EQ(underlay_->latency(a, b), underlay_->latency(b, a));
+  }
+}
+
+TEST_F(UnderlayTest, TriangleInequality) {
+  // Shortest paths must satisfy d(a,c) <= d(a,b) + d(b,c).
+  Rng rng{5};
+  for (int trial = 0; trial < 200; ++trial) {
+    const HostIndex a{static_cast<std::uint32_t>(rng.index(underlay_->num_hosts()))};
+    const HostIndex b{static_cast<std::uint32_t>(rng.index(underlay_->num_hosts()))};
+    const HostIndex c{static_cast<std::uint32_t>(rng.index(underlay_->num_hosts()))};
+    EXPECT_LE(underlay_->latency(a, c).as_micros(),
+              underlay_->latency(a, b).as_micros() +
+                  underlay_->latency(b, c).as_micros());
+  }
+}
+
+TEST_F(UnderlayTest, PathEdgeLatenciesSumToShortestPath) {
+  Rng rng{6};
+  const auto& g = underlay_->topology().graph;
+  for (int trial = 0; trial < 100; ++trial) {
+    const HostIndex a{static_cast<std::uint32_t>(rng.index(underlay_->num_hosts()))};
+    const HostIndex b{static_cast<std::uint32_t>(rng.index(underlay_->num_hosts()))};
+    std::int64_t sum = 0;
+    std::uint32_t edges = 0;
+    underlay_->for_each_path_edge(a, b, [&](EdgeIndex e) {
+      sum += g.edge_latency_us(e);
+      ++edges;
+    });
+    EXPECT_EQ(sum, underlay_->latency(a, b).as_micros());
+    EXPECT_EQ(edges, underlay_->path_hops(a, b));
+  }
+}
+
+TEST_F(UnderlayTest, CapacityClassesDealtInThirds) {
+  std::size_t counts[3] = {};
+  for (std::uint32_t i = 0; i < underlay_->num_hosts(); ++i) {
+    ++counts[static_cast<std::size_t>(underlay_->capacity(HostIndex{i}))];
+  }
+  const auto n = underlay_->num_hosts();
+  for (auto c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 3.0, 2.0);
+  }
+}
+
+TEST_F(UnderlayTest, TransmissionDelayUsesBottleneck) {
+  // Find one low-capacity and one high-capacity host.
+  HostIndex low = kNoHost;
+  HostIndex high = kNoHost;
+  for (std::uint32_t i = 0; i < underlay_->num_hosts(); ++i) {
+    if (underlay_->capacity(HostIndex{i}) == CapacityClass::kLow)
+      low = HostIndex{i};
+    if (underlay_->capacity(HostIndex{i}) == CapacityClass::kHigh)
+      high = HostIndex{i};
+  }
+  ASSERT_NE(low, kNoHost);
+  ASSERT_NE(high, kNoHost);
+  const auto slow = underlay_->transmission_delay(low, high, 1000);
+  const auto fast = underlay_->transmission_delay(high, high, 1000);
+  // Bottleneck is the low side: 10x slower.
+  EXPECT_NEAR(static_cast<double>(slow.as_micros()),
+              10.0 * static_cast<double>(fast.as_micros()),
+              static_cast<double>(fast.as_micros()) * 0.01 + 2);
+}
+
+TEST_F(UnderlayTest, CapacityRatioIsTen) {
+  EXPECT_DOUBLE_EQ(capacity_bps(CapacityClass::kHigh) /
+                       capacity_bps(CapacityClass::kLow),
+                   10.0);
+}
+
+TEST_F(UnderlayTest, DistancesToLandmarks) {
+  const std::vector<HostIndex> landmarks{HostIndex{0}, HostIndex{5}};
+  const auto d = underlay_->distances_to(HostIndex{10}, landmarks);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d[0], underlay_->latency(HostIndex{10}, HostIndex{0}));
+  EXPECT_EQ(d[1], underlay_->latency(HostIndex{10}, HostIndex{5}));
+}
+
+TEST(LinkStress, Counters) {
+  LinkStress ls{4};
+  ls.bump(0);
+  ls.bump(0);
+  ls.bump(3);
+  EXPECT_EQ(ls.count(0), 2u);
+  EXPECT_EQ(ls.count(1), 0u);
+  EXPECT_EQ(ls.max_stress(), 2u);
+  EXPECT_EQ(ls.total_copies(), 3u);
+  EXPECT_DOUBLE_EQ(ls.mean_stress(), 0.75);
+}
+
+TEST(LinkStress, IntraStubFasterThanInterTransit) {
+  // Structural sanity of the latency classes: two hosts in the same stub
+  // domain should typically be closer than hosts in different transit
+  // domains.
+  Rng rng{31};
+  auto p = TransitStubParams::for_total_nodes(400);
+  Topology topo = generate_transit_stub(p, rng);
+  const std::vector<std::uint32_t> domain = topo.domain;  // copy before move
+  Underlay u{std::move(topo), rng};
+  // Hosts in the same stub domain (stub indices start after transit nodes).
+  const std::uint32_t base = u.topology().num_transit_nodes;
+  std::int64_t same = 0;
+  std::int64_t diff = 0;
+  int same_n = 0;
+  int diff_n = 0;
+  for (std::uint32_t i = base; i < u.num_hosts() - 1; i += 13) {
+    for (std::uint32_t j = i + 1; j < u.num_hosts(); j += 29) {
+      const auto l = u.latency(HostIndex{i}, HostIndex{j}).as_micros();
+      if (domain[i] == domain[j]) {
+        same += l;
+        ++same_n;
+      } else {
+        diff += l;
+        ++diff_n;
+      }
+    }
+  }
+  ASSERT_GT(same_n, 0);
+  ASSERT_GT(diff_n, 0);
+  EXPECT_LT(same / same_n, diff / diff_n);
+}
+
+}  // namespace
+}  // namespace hp2p::net

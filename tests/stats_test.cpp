@@ -1,0 +1,186 @@
+// Unit tests for histograms, summaries, and table output.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "stats/histogram.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+
+namespace hp2p::stats {
+namespace {
+
+TEST(Histogram, BinsAndMass) {
+  Histogram h{0.0, 10.0, 5};
+  for (double v : {0.5, 1.5, 2.5, 3.5, 9.5}) h.add(v);
+  EXPECT_EQ(h.total(), 5u);
+  const auto pdf = h.pdf();
+  ASSERT_EQ(pdf.size(), 5u);
+  EXPECT_EQ(pdf[0].count, 2u);  // bin [0,2): 0.5 and 1.5
+  EXPECT_EQ(pdf[1].count, 2u);  // bin [2,4): 2.5 and 3.5
+  EXPECT_DOUBLE_EQ(pdf[1].mass, 0.4);
+  EXPECT_EQ(pdf[4].count, 1u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges) {
+  Histogram h{0.0, 10.0, 2};
+  h.add(-5.0);
+  h.add(50.0);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+}
+
+TEST(Histogram, PdfMassSumsToOne) {
+  Histogram h{0.0, 1.0, 7};
+  for (int i = 0; i < 100; ++i) h.add(i / 100.0);
+  double mass = 0;
+  for (const auto& bin : h.pdf()) mass += bin.mass;
+  EXPECT_NEAR(mass, 1.0, 1e-12);
+}
+
+TEST(Histogram, EmptyPdf) {
+  Histogram h{0.0, 1.0, 3};
+  EXPECT_TRUE(h.pdf().empty());
+  EXPECT_DOUBLE_EQ(h.cdf_at(0.5), 0.0);
+}
+
+TEST(Histogram, CdfAtBinBoundary) {
+  Histogram h{0.0, 10.0, 10};
+  for (int i = 0; i < 10; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.cdf_at(5.0), 0.5, 1e-12);
+  EXPECT_NEAR(h.cdf_at(10.0), 1.0, 1e-12);
+}
+
+TEST(CountDistribution, FractionZero) {
+  CountDistribution d;
+  d.add(0);
+  d.add(0);
+  d.add(3);
+  d.add(7);
+  EXPECT_DOUBLE_EQ(d.fraction_zero(), 0.5);
+  EXPECT_EQ(d.max_value(), 7u);
+  EXPECT_DOUBLE_EQ(d.fraction_below(4), 0.75);
+}
+
+TEST(CountDistribution, EmptyIsSafe) {
+  CountDistribution d;
+  EXPECT_DOUBLE_EQ(d.fraction_zero(), 0.0);
+  EXPECT_EQ(d.max_value(), 0u);
+  EXPECT_TRUE(d.to_pdf(4).empty());
+}
+
+TEST(CountDistribution, PdfBinsCoverAllSamples) {
+  CountDistribution d;
+  for (std::uint64_t v = 0; v < 100; ++v) d.add(v);
+  const auto pdf = d.to_pdf(10);
+  ASSERT_EQ(pdf.size(), 10u);
+  std::uint64_t total = 0;
+  double mass = 0;
+  for (const auto& bin : pdf) {
+    total += bin.count;
+    mass += bin.mass;
+  }
+  EXPECT_EQ(total, 100u);
+  EXPECT_NEAR(mass, 1.0, 1e-12);
+}
+
+TEST(Summary, MeanVarianceMinMax) {
+  Summary s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Summary, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Summary, MergeMatchesSequential) {
+  Summary all;
+  Summary a;
+  Summary b;
+  for (int i = 0; i < 50; ++i) {
+    const double v = std::sin(i) * 10 + i;
+    all.add(v);
+    (i % 2 == 0 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Summary, MergeWithEmpty) {
+  Summary a;
+  a.add(3.0);
+  Summary empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+}
+
+TEST(Samples, PercentilesExact) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+}
+
+TEST(Samples, AddAfterPercentileResorts) {
+  Samples s;
+  s.add(10);
+  s.add(20);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 20.0);
+  s.add(5);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 5.0);
+}
+
+TEST(Samples, MeanOfEmptyIsZero) {
+  Samples s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+}
+
+TEST(Table, AlignedOutputContainsCells) {
+  Table t{{"p_s", "latency"}};
+  t.row().cell(0.5, 1).cell(std::uint64_t{42});
+  std::ostringstream os;
+  t.print(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("p_s"), std::string::npos);
+  EXPECT_NE(text.find("0.5"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+}
+
+TEST(Table, CsvRoundTrip) {
+  Table t{{"a", "b"}};
+  t.row().cell(std::uint64_t{1}).cell(std::uint64_t{2});
+  t.row().cell(std::uint64_t{3}).cell(std::uint64_t{4});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n3,4\n");
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.row_cells(1)[0], "3");
+}
+
+TEST(Table, FormatFixedPrecision) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace hp2p::stats

@@ -1,0 +1,120 @@
+// Tests for workload generation.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/workload.hpp"
+
+namespace hp2p::workload {
+namespace {
+
+TEST(Workload, UniformCorpusDistinctKeys) {
+  const auto items = uniform_corpus(500, 7);
+  std::set<std::string> keys;
+  std::set<std::uint64_t> ids;
+  for (const auto& item : items) {
+    keys.insert(item.key);
+    ids.insert(item.id.value());
+    EXPECT_EQ(item.id, hash_key(item.key));
+  }
+  EXPECT_EQ(keys.size(), 500u);
+  EXPECT_GE(ids.size(), 499u);  // hash collisions essentially impossible
+}
+
+TEST(Workload, CorpusDeterministicInSeed) {
+  const auto a = uniform_corpus(10, 3);
+  const auto b = uniform_corpus(10, 3);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].value, b[i].value);
+  }
+  const auto c = uniform_corpus(10, 4);
+  EXPECT_NE(a[0].value, c[0].value);
+}
+
+TEST(Workload, RandomIdInArcStaysInside) {
+  Rng rng{5};
+  const PeerId lo{100};
+  const PeerId hi{500};
+  for (int i = 0; i < 1000; ++i) {
+    const DataId id = random_id_in_arc(rng, lo, hi);
+    EXPECT_TRUE(
+        ring::in_arc_open_closed(id.value(), lo.value(), hi.value()))
+        << id.value();
+  }
+}
+
+TEST(Workload, RandomIdInWrappingArc) {
+  Rng rng{6};
+  const PeerId lo{kRingSize - 50};
+  const PeerId hi{50};
+  for (int i = 0; i < 1000; ++i) {
+    const DataId id = random_id_in_arc(rng, lo, hi);
+    EXPECT_TRUE(
+        ring::in_arc_open_closed(id.value(), lo.value(), hi.value()));
+  }
+}
+
+TEST(Workload, RandomIdFullCircleWhenDegenerate) {
+  Rng rng{7};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) {
+    seen.insert(random_id_in_arc(rng, PeerId{42}, PeerId{42}).value());
+  }
+  EXPECT_GT(seen.size(), 90u);  // spans the whole ring
+}
+
+TEST(Workload, ZipfRankZeroMostPopular) {
+  Rng rng{8};
+  ZipfSampler zipf{100, 1.0};
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], counts[99] * 5);
+}
+
+TEST(Workload, ZipfExponentZeroIsUniform) {
+  Rng rng{9};
+  ZipfSampler zipf{10, 0.0};
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c, 5000, 500);
+}
+
+TEST(Workload, ZipfSamplesInRange) {
+  Rng rng{10};
+  ZipfSampler zipf{7, 1.2};
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.sample(rng), 7u);
+}
+
+TEST(Workload, ChurnScheduleSortedAndBounded) {
+  Rng rng{11};
+  const auto events =
+      churn_schedule(rng, sim::SimTime::seconds(60), 1.0, 0.5, 0.2);
+  EXPECT_FALSE(events.empty());
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].at, events[i].at);
+  }
+  for (const auto& e : events) {
+    EXPECT_LT(e.at, sim::SimTime::seconds(60));
+    EXPECT_GE(e.at.as_micros(), 0);
+  }
+}
+
+TEST(Workload, ChurnRatesApproximatelyRespected) {
+  Rng rng{12};
+  const auto events =
+      churn_schedule(rng, sim::SimTime::seconds(1000), 2.0, 0.0, 0.0);
+  EXPECT_NEAR(static_cast<double>(events.size()), 2000.0, 200.0);
+  for (const auto& e : events) {
+    EXPECT_EQ(e.kind, ChurnEvent::Kind::kJoin);
+  }
+}
+
+TEST(Workload, ZeroRatesYieldNoEvents) {
+  Rng rng{13};
+  EXPECT_TRUE(
+      churn_schedule(rng, sim::SimTime::seconds(10), 0, 0, 0).empty());
+}
+
+}  // namespace
+}  // namespace hp2p::workload
