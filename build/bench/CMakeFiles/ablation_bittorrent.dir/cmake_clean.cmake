@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bittorrent.dir/ablation_bittorrent.cpp.o"
+  "CMakeFiles/ablation_bittorrent.dir/ablation_bittorrent.cpp.o.d"
+  "ablation_bittorrent"
+  "ablation_bittorrent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bittorrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

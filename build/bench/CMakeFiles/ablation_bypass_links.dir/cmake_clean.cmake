@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bypass_links.dir/ablation_bypass_links.cpp.o"
+  "CMakeFiles/ablation_bypass_links.dir/ablation_bypass_links.cpp.o.d"
+  "ablation_bypass_links"
+  "ablation_bypass_links.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bypass_links.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_finger_routing.dir/ablation_finger_routing.cpp.o"
+  "CMakeFiles/ablation_finger_routing.dir/ablation_finger_routing.cpp.o.d"
+  "ablation_finger_routing"
+  "ablation_finger_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_finger_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

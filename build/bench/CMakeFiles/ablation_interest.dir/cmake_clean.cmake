@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_interest.dir/ablation_interest.cpp.o"
+  "CMakeFiles/ablation_interest.dir/ablation_interest.cpp.o.d"
+  "ablation_interest"
+  "ablation_interest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_interest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

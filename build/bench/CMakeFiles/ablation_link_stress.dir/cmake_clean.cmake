@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_link_stress.dir/ablation_link_stress.cpp.o"
+  "CMakeFiles/ablation_link_stress.dir/ablation_link_stress.cpp.o.d"
+  "ablation_link_stress"
+  "ablation_link_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_link_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

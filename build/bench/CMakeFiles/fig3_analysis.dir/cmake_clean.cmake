@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_analysis.dir/fig3_analysis.cpp.o"
+  "CMakeFiles/fig3_analysis.dir/fig3_analysis.cpp.o.d"
+  "fig3_analysis"
+  "fig3_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5a_failure_ratio.cpp" "bench/CMakeFiles/fig5a_failure_ratio.dir/fig5a_failure_ratio.cpp.o" "gcc" "bench/CMakeFiles/fig5a_failure_ratio.dir/fig5a_failure_ratio.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/hp2p_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/hp2p_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hp2p_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hp2p_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/hybrid/CMakeFiles/hp2p_hybrid.dir/DependInfo.cmake"
+  "/root/repo/build/src/chord/CMakeFiles/hp2p_chord.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnutella/CMakeFiles/hp2p_gnutella.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/hp2p_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hp2p_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hp2p_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hp2p_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_failure_ratio.dir/fig5a_failure_ratio.cpp.o"
+  "CMakeFiles/fig5a_failure_ratio.dir/fig5a_failure_ratio.cpp.o.d"
+  "fig5a_failure_ratio"
+  "fig5a_failure_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_failure_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

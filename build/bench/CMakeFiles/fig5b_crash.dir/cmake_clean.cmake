@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_crash.dir/fig5b_crash.cpp.o"
+  "CMakeFiles/fig5b_crash.dir/fig5b_crash.cpp.o.d"
+  "fig5b_crash"
+  "fig5b_crash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_crash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6a_heterogeneity.dir/fig6a_heterogeneity.cpp.o"
+  "CMakeFiles/fig6a_heterogeneity.dir/fig6a_heterogeneity.cpp.o.d"
+  "fig6a_heterogeneity"
+  "fig6a_heterogeneity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_heterogeneity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6b_topology_aware.dir/fig6b_topology_aware.cpp.o"
+  "CMakeFiles/fig6b_topology_aware.dir/fig6b_topology_aware.cpp.o.d"
+  "fig6b_topology_aware"
+  "fig6b_topology_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_topology_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

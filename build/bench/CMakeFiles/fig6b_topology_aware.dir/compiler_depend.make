@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6b_topology_aware.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_connum.dir/table2_connum.cpp.o"
+  "CMakeFiles/table2_connum.dir/table2_connum.cpp.o.d"
+  "table2_connum"
+  "table2_connum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_connum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

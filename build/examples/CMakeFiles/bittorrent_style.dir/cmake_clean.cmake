@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bittorrent_style.dir/bittorrent_style.cpp.o"
+  "CMakeFiles/bittorrent_style.dir/bittorrent_style.cpp.o.d"
+  "bittorrent_style"
+  "bittorrent_style.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bittorrent_style.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

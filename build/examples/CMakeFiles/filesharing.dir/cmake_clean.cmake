@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filesharing.dir/filesharing.cpp.o"
+  "CMakeFiles/filesharing.dir/filesharing.cpp.o.d"
+  "filesharing"
+  "filesharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filesharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

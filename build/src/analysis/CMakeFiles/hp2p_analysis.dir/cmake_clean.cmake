@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp2p_analysis.dir/model.cpp.o"
+  "CMakeFiles/hp2p_analysis.dir/model.cpp.o.d"
+  "libhp2p_analysis.a"
+  "libhp2p_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp2p_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp2p_chord.dir/chord.cpp.o"
+  "CMakeFiles/hp2p_chord.dir/chord.cpp.o.d"
+  "libhp2p_chord.a"
+  "libhp2p_chord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp2p_chord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

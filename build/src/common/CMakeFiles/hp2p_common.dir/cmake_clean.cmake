@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp2p_common.dir/env.cpp.o"
+  "CMakeFiles/hp2p_common.dir/env.cpp.o.d"
+  "CMakeFiles/hp2p_common.dir/hashing.cpp.o"
+  "CMakeFiles/hp2p_common.dir/hashing.cpp.o.d"
+  "CMakeFiles/hp2p_common.dir/rng.cpp.o"
+  "CMakeFiles/hp2p_common.dir/rng.cpp.o.d"
+  "libhp2p_common.a"
+  "libhp2p_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp2p_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp2p_exp.dir/baselines.cpp.o"
+  "CMakeFiles/hp2p_exp.dir/baselines.cpp.o.d"
+  "CMakeFiles/hp2p_exp.dir/harness.cpp.o"
+  "CMakeFiles/hp2p_exp.dir/harness.cpp.o.d"
+  "libhp2p_exp.a"
+  "libhp2p_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp2p_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhp2p_exp.a"
+)

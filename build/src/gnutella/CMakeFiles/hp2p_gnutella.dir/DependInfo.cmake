@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gnutella/gnutella.cpp" "src/gnutella/CMakeFiles/hp2p_gnutella.dir/gnutella.cpp.o" "gcc" "src/gnutella/CMakeFiles/hp2p_gnutella.dir/gnutella.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hp2p_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hp2p_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/hp2p_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hp2p_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

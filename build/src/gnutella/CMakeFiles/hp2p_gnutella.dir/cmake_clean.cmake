@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp2p_gnutella.dir/gnutella.cpp.o"
+  "CMakeFiles/hp2p_gnutella.dir/gnutella.cpp.o.d"
+  "libhp2p_gnutella.a"
+  "libhp2p_gnutella.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp2p_gnutella.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

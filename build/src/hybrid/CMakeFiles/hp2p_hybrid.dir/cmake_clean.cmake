@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp2p_hybrid.dir/hybrid_data.cpp.o"
+  "CMakeFiles/hp2p_hybrid.dir/hybrid_data.cpp.o.d"
+  "CMakeFiles/hp2p_hybrid.dir/hybrid_membership.cpp.o"
+  "CMakeFiles/hp2p_hybrid.dir/hybrid_membership.cpp.o.d"
+  "libhp2p_hybrid.a"
+  "libhp2p_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp2p_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

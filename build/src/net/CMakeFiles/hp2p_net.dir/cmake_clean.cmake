@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp2p_net.dir/graph.cpp.o"
+  "CMakeFiles/hp2p_net.dir/graph.cpp.o.d"
+  "CMakeFiles/hp2p_net.dir/transit_stub.cpp.o"
+  "CMakeFiles/hp2p_net.dir/transit_stub.cpp.o.d"
+  "CMakeFiles/hp2p_net.dir/underlay.cpp.o"
+  "CMakeFiles/hp2p_net.dir/underlay.cpp.o.d"
+  "libhp2p_net.a"
+  "libhp2p_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp2p_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp2p_proto.dir/overlay_network.cpp.o"
+  "CMakeFiles/hp2p_proto.dir/overlay_network.cpp.o.d"
+  "libhp2p_proto.a"
+  "libhp2p_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp2p_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp2p_sim.dir/simulator.cpp.o"
+  "CMakeFiles/hp2p_sim.dir/simulator.cpp.o.d"
+  "libhp2p_sim.a"
+  "libhp2p_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp2p_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp2p_stats.dir/histogram.cpp.o"
+  "CMakeFiles/hp2p_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/hp2p_stats.dir/summary.cpp.o"
+  "CMakeFiles/hp2p_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/hp2p_stats.dir/table.cpp.o"
+  "CMakeFiles/hp2p_stats.dir/table.cpp.o.d"
+  "libhp2p_stats.a"
+  "libhp2p_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp2p_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

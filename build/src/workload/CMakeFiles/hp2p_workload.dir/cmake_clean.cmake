@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp2p_workload.dir/workload.cpp.o"
+  "CMakeFiles/hp2p_workload.dir/workload.cpp.o.d"
+  "libhp2p_workload.a"
+  "libhp2p_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp2p_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_churn_soak.dir/churn_soak_test.cpp.o"
+  "CMakeFiles/test_churn_soak.dir/churn_soak_test.cpp.o.d"
+  "test_churn_soak"
+  "test_churn_soak.pdb"
+  "test_churn_soak[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_churn_soak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

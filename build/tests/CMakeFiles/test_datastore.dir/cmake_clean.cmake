@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_datastore.dir/datastore_test.cpp.o"
+  "CMakeFiles/test_datastore.dir/datastore_test.cpp.o.d"
+  "test_datastore"
+  "test_datastore.pdb"
+  "test_datastore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_datastore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

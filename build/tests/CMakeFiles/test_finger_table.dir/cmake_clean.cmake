@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_finger_table.dir/finger_table_test.cpp.o"
+  "CMakeFiles/test_finger_table.dir/finger_table_test.cpp.o.d"
+  "test_finger_table"
+  "test_finger_table.pdb"
+  "test_finger_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_finger_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

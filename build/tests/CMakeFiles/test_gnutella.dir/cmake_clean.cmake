@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gnutella.dir/gnutella_test.cpp.o"
+  "CMakeFiles/test_gnutella.dir/gnutella_test.cpp.o.d"
+  "test_gnutella"
+  "test_gnutella.pdb"
+  "test_gnutella[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gnutella.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_proto[1]_include.cmake")
+include("/root/repo/build/tests/test_chord[1]_include.cmake")
+include("/root/repo/build/tests/test_gnutella[1]_include.cmake")
+include("/root/repo/build/tests/test_hybrid[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_exp[1]_include.cmake")
+include("/root/repo/build/tests/test_datastore[1]_include.cmake")
+include("/root/repo/build/tests/test_finger_table[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_churn_soak[1]_include.cmake")
