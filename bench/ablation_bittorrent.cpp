@@ -6,12 +6,14 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "exp/metrics_collect.hpp"
 #include "stats/table.hpp"
 
 using namespace hp2p;
 
 int main() {
   auto scale = bench::scale_from_env();
+  bench::Reporter reporter{"ablation_bittorrent", scale};
   bench::print_header(
       "Ablation -- Gnutella-style flooding vs BitTorrent-style trackers",
       "tracker mode: near-zero failure, O(1) contacts per lookup, no "
@@ -22,13 +24,15 @@ int main() {
                       "contacted_per_lookup", "query_msgs"}};
   struct Variant {
     const char* name;
+    const char* key;  // metric-tree prefix for this variant's run
     hybrid::SNetworkStyle style;
     unsigned ttl;
   };
   const Variant variants[] = {
-      {"flooding tree, TTL=2", hybrid::SNetworkStyle::kTree, 2},
-      {"flooding tree, TTL=6", hybrid::SNetworkStyle::kTree, 6},
-      {"tracker (BitTorrent)", hybrid::SNetworkStyle::kBitTorrent, 2},
+      {"flooding tree, TTL=2", "tree_ttl2", hybrid::SNetworkStyle::kTree, 2},
+      {"flooding tree, TTL=6", "tree_ttl6", hybrid::SNetworkStyle::kTree, 6},
+      {"tracker (BitTorrent)", "tracker",
+       hybrid::SNetworkStyle::kBitTorrent, 2},
   };
   for (const auto& v : variants) {
     auto cfg = bench::base_config(scale, 0);
@@ -44,7 +48,9 @@ int main() {
                   static_cast<double>(r.lookups.issued),
               2)
         .cell(r.network.class_messages(proto::TrafficClass::kQuery));
+    exp::collect_run_result(reporter.metrics(), v.key, r);
   }
   table.print(std::cout);
-  return 0;
+  reporter.add_table("ablation_bittorrent", table);
+  return reporter.write() ? 0 : 1;
 }

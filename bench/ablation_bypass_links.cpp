@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "exp/metrics_collect.hpp"
 #include "stats/table.hpp"
 
 using namespace hp2p;
@@ -16,6 +17,7 @@ int main() {
   auto scale = bench::scale_from_env();
   // Repeating lookups is the whole point here.
   scale.lookups = std::max<std::size_t>(scale.lookups, 2 * scale.items);
+  bench::Reporter reporter{"ablation_bypass_links", scale};
   bench::print_header(
       "Ablation -- bypass links on/off",
       "bypass links divert repeat cross-network traffic off the t-network "
@@ -53,7 +55,10 @@ int main() {
         .cell(r.network.class_messages(proto::TrafficClass::kQuery))
         .cell(r.bypass_uses)
         .cell(r.lookups.failure_ratio(), 4);
+    exp::collect_run_result(reporter.metrics(),
+                            enabled ? "bypass_on" : "bypass_off", r);
   }
   table.print(std::cout);
-  return 0;
+  reporter.add_table("ablation_bypass_links", table);
+  return reporter.write() ? 0 : 1;
 }

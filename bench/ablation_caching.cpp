@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "exp/metrics_collect.hpp"
 #include "stats/table.hpp"
 
 using namespace hp2p;
@@ -15,6 +16,7 @@ using namespace hp2p;
 int main() {
   auto scale = bench::scale_from_env();
   scale.items = std::min<std::size_t>(scale.items, 200);  // hot catalogue
+  bench::Reporter reporter{"ablation_caching", scale};
   bench::print_header(
       "Ablation -- Section 7 caching scheme on/off (Zipf-1.2 workload)",
       "caching spreads a popular item's load across surrogate peers: the "
@@ -41,7 +43,10 @@ int main() {
         .cell(static_cast<double>(r.connum()) /
                   static_cast<double>(r.lookups.issued),
               2);
+    exp::collect_run_result(reporter.metrics(),
+                            enabled ? "caching_on" : "caching_off", r);
   }
   table.print(std::cout);
-  return 0;
+  reporter.add_table("ablation_caching", table);
+  return reporter.write() ? 0 : 1;
 }

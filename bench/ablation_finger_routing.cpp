@@ -13,6 +13,7 @@ using namespace hp2p;
 
 int main() {
   auto scale = bench::scale_from_env();
+  bench::Reporter reporter{"ablation_finger_routing", scale};
   bench::print_header(
       "Ablation -- t-network routing: ring vs finger tables",
       "ring walk ~ N_t/2 hops; fingers ~ log2 N_t; gap collapses as p_s "
@@ -37,7 +38,13 @@ int main() {
         .cell(finger.lookup_hops.mean(), 1)
         .cell(ring.connum())
         .cell(finger.connum());
+    const std::string base = "ps_" + bench::metric_num(ps);
+    reporter.metrics().set(base + ".ring_hops", ring.lookup_hops.mean());
+    reporter.metrics().set(base + ".finger_hops", finger.lookup_hops.mean());
+    reporter.metrics().set(base + ".ring_connum", ring.connum());
+    reporter.metrics().set(base + ".finger_connum", finger.connum());
   }
   table.print(std::cout);
-  return 0;
+  reporter.add_table("ablation_finger_routing", table);
+  return reporter.write() ? 0 : 1;
 }

@@ -7,12 +7,14 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "exp/metrics_collect.hpp"
 #include "stats/table.hpp"
 
 using namespace hp2p;
 
 int main() {
   auto scale = bench::scale_from_env();
+  bench::Reporter reporter{"ablation_interest", scale};
   bench::print_header(
       "Ablation -- interest-based s-networks vs random assignment",
       "interest grouping keeps lookups local: fewer hops, fewer peers "
@@ -23,13 +25,14 @@ int main() {
                       "contacted_per_lookup", "ring+flood_query_msgs"}};
   struct Variant {
     const char* name;
+    const char* key;  // metric-tree prefix for this variant's run
     bool interest_based;
     double locality;
   };
   const Variant variants[] = {
-      {"random, uniform ops", false, 0.0},
-      {"random, local ops", false, 0.9},
-      {"interest, local ops", true, 0.9},
+      {"random, uniform ops", "random_uniform", false, 0.0},
+      {"random, local ops", "random_local", false, 0.9},
+      {"interest, local ops", "interest_local", true, 0.9},
   };
   for (const auto& v : variants) {
     auto cfg = bench::base_config(scale, 0);
@@ -50,7 +53,9 @@ int main() {
                   static_cast<double>(r.lookups.issued),
               2)
         .cell(r.network.class_messages(proto::TrafficClass::kQuery));
+    exp::collect_run_result(reporter.metrics(), v.key, r);
   }
   table.print(std::cout);
-  return 0;
+  reporter.add_table("ablation_interest", table);
+  return reporter.write() ? 0 : 1;
 }

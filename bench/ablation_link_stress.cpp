@@ -8,12 +8,14 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "exp/metrics_collect.hpp"
 #include "stats/table.hpp"
 
 using namespace hp2p;
 
 int main() {
   auto scale = bench::scale_from_env();
+  bench::Reporter reporter{"ablation_link_stress", scale};
   bench::print_header(
       "Ablation -- physical link stress, topology awareness on/off",
       "clustered s-networks keep flood/cp-chain traffic off the transit "
@@ -41,7 +43,9 @@ int main() {
         .cell(r.max_link_stress)
         .cell(r.mean_link_stress, 1)
         .cell(r.lookup_latency_ms.mean(), 1);
+    exp::collect_run_result(reporter.metrics(), aware ? "aware" : "basic", r);
   }
   table.print(std::cout);
-  return 0;
+  reporter.add_table("ablation_link_stress", table);
+  return reporter.write() ? 0 : 1;
 }

@@ -7,12 +7,14 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "exp/metrics_collect.hpp"
 #include "stats/table.hpp"
 
 using namespace hp2p;
 
 int main() {
   auto scale = bench::scale_from_env();
+  bench::Reporter reporter{"ablation_snetwork_topology", scale};
   bench::print_header(
       "Ablation -- s-network topology: tree vs star vs mesh",
       "tree: no duplicate query copies; star: shortest floods but maximal "
@@ -21,12 +23,13 @@ int main() {
 
   struct Variant {
     const char* name;
+    const char* key;  // metric-tree prefix for this variant's run
     hybrid::SNetworkStyle style;
   };
   const Variant variants[] = {
-      {"tree (paper)", hybrid::SNetworkStyle::kTree},
-      {"star", hybrid::SNetworkStyle::kStar},
-      {"mesh", hybrid::SNetworkStyle::kMesh},
+      {"tree (paper)", "tree", hybrid::SNetworkStyle::kTree},
+      {"star", "star", hybrid::SNetworkStyle::kStar},
+      {"mesh", "mesh", hybrid::SNetworkStyle::kMesh},
   };
 
   stats::Table table{{"style", "latency_ms", "failure", "query_msgs",
@@ -51,11 +54,15 @@ int main() {
         .cell(static_cast<std::uint64_t>(contacted))
         .cell(contacted > 0 ? queries / contacted : 0.0, 2)
         .cell(static_cast<std::uint64_t>(r.max_tree_degree));
+    exp::collect_run_result(reporter.metrics(), v.key, r);
+    reporter.metrics().set(std::string{v.key} + ".dup_ratio",
+                           contacted > 0 ? queries / contacted : 0.0);
   }
   table.print(std::cout);
+  reporter.add_table("ablation_snetwork_topology", table);
   std::printf("dup_ratio = query messages per distinct peer contacted (the "
               "tree stays near 1,\nthe mesh pays for redundancy); max_degree "
               "is the load the busiest peer carries\n(the star's root serves "
               "its whole s-network).\n");
-  return 0;
+  return reporter.write() ? 0 : 1;
 }

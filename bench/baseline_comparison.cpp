@@ -7,12 +7,14 @@
 
 #include "bench_util.hpp"
 #include "exp/baselines.hpp"
+#include "exp/metrics_collect.hpp"
 #include "stats/table.hpp"
 
 using namespace hp2p;
 
 int main() {
   auto scale = bench::scale_from_env();
+  bench::Reporter reporter{"baseline_comparison", scale};
   bench::print_header(
       "Baseline comparison -- Chord vs Gnutella vs hybrid",
       "structured: zero failures, long walks & joins; unstructured: instant "
@@ -22,7 +24,8 @@ int main() {
   stats::Table table{{"system", "join_ms", "lookup_ms", "failure",
                       "connum/lookup", "messages"}};
 
-  auto add_row = [&](const char* name, const exp::RunResult& r) {
+  auto add_row = [&](const char* name, const char* key,
+                     const exp::RunResult& r) {
     table.row()
         .cell(name)
         .cell(r.join_latency_ms.mean(), 1)
@@ -33,6 +36,7 @@ int main() {
                       r.lookups.issued, 1)),
               1)
         .cell(r.network.messages_sent);
+    exp::collect_run_result(reporter.metrics(), key, r);
   };
 
   {
@@ -42,11 +46,13 @@ int main() {
     cfg.num_items = scale.items;
     cfg.num_lookups = scale.lookups;
     cfg.chord.routing = chord::RoutingMode::kRing;
-    add_row("chord (ring routing)", exp::run_chord_experiment(cfg));
+    add_row("chord (ring routing)", "chord_ring",
+            exp::run_chord_experiment(cfg));
     cfg.chord.routing = chord::RoutingMode::kFinger;
     cfg.maintenance = true;
     cfg.chord.stabilize_interval = sim::SimTime::millis(500);
-    add_row("chord (finger routing)", exp::run_chord_experiment(cfg));
+    add_row("chord (finger routing)", "chord_finger",
+            exp::run_chord_experiment(cfg));
   }
   {
     exp::GnutellaRunConfig cfg;
@@ -56,7 +62,8 @@ int main() {
     cfg.num_lookups = scale.lookups;
     cfg.gnutella.ttl = 5;
     cfg.gnutella.neighbors_per_join = 3;
-    add_row("gnutella (flood TTL=5)", exp::run_gnutella_experiment(cfg));
+    add_row("gnutella (flood TTL=5)", "gnutella",
+            exp::run_gnutella_experiment(cfg));
   }
   for (double ps : {0.5, 0.7}) {
     auto cfg = bench::base_config(scale, 0);
@@ -64,12 +71,14 @@ int main() {
     cfg.hybrid.ttl = 6;
     const auto r = exp::run_hybrid_experiment(cfg);
     const std::string name = "hybrid (p_s=" + stats::format_fixed(ps, 1) + ")";
-    add_row(name.c_str(), r);
+    const std::string key = "hybrid_ps_" + bench::metric_num(ps);
+    add_row(name.c_str(), key.c_str(), r);
   }
   table.print(std::cout);
+  reporter.add_table("baseline_comparison", table);
   std::printf("\nchord joins pay a full ring walk and chord lookups contact "
               "~N/2 peers (ring mode);\ngnutella joins are constant-time but "
               "flooding misses rare items; the hybrid\ninterpolates, and "
               "p_s picks the point on the trade-off curve.\n");
-  return 0;
+  return reporter.write() ? 0 : 1;
 }

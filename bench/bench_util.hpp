@@ -2,11 +2,16 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 
 #include "common/env.hpp"
 #include "exp/harness.hpp"
+#include "stats/json.hpp"
+#include "stats/metrics.hpp"
+#include "stats/table.hpp"
 
 namespace hp2p::bench {
 
@@ -56,6 +61,16 @@ inline void print_header(const char* figure, const char* claim,
               "=================\n");
 }
 
+/// Formats a number for use inside a dotted metric name ('.' would nest, so
+/// the decimal point becomes 'p': 0.4 -> "0p4").
+[[nodiscard]] inline std::string metric_num(double v, int precision = 1) {
+  std::string s = stats::format_fixed(v, precision);
+  for (char& c : s) {
+    if (c == '.') c = 'p';
+  }
+  return s;
+}
+
 /// Mean of a metric across replicas of the same configuration.
 template <typename Fn>
 [[nodiscard]] double replicate_mean(const Scale& s, Fn make_and_measure) {
@@ -65,5 +80,103 @@ template <typename Fn>
   }
   return total / static_cast<double>(s.replicas);
 }
+
+/// Machine-readable run report, written next to the ASCII output as
+/// BENCH_<name>.json.  Schema (version 1):
+///
+///   {
+///     "schema_version": 1,
+///     "bench": "<name>",
+///     "seed": <int>,
+///     "config": { ... },              // nested; scale + bench-specific knobs
+///     "metrics": { ... },             // nested MetricsRegistry export
+///     "tables": [                     // the ASCII tables, verbatim cells
+///       {"title": "...", "columns": ["..."], "rows": [["..."]]}
+///     ]
+///   }
+///
+/// Benches populate config()/metrics() through the registry API and mirror
+/// each printed stats::Table with add_table(); write() is the last line of
+/// main().
+class Reporter {
+ public:
+  static constexpr std::int64_t kSchemaVersion = 1;
+
+  explicit Reporter(std::string name, std::uint64_t seed = 0)
+      : name_(std::move(name)), seed_(seed) {}
+
+  Reporter(std::string name, const Scale& s)
+      : Reporter(std::move(name), s.seed) {
+    config_.set("peers", stats::JsonValue{std::uint64_t{s.peers}});
+    config_.set("items", stats::JsonValue{static_cast<std::uint64_t>(s.items)});
+    config_.set("lookups",
+                stats::JsonValue{static_cast<std::uint64_t>(s.lookups)});
+    config_.set("replicas",
+                stats::JsonValue{static_cast<std::uint64_t>(s.replicas)});
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  stats::MetricsRegistry& config() { return config_; }
+  stats::MetricsRegistry& metrics() { return metrics_; }
+
+  /// Mirrors one printed table into the report (cells verbatim).
+  void add_table(const std::string& title, const stats::Table& table) {
+    stats::JsonValue t = stats::JsonValue::object();
+    t.set("title", stats::JsonValue{title});
+    stats::JsonValue columns = stats::JsonValue::array();
+    for (const std::string& h : table.headers()) {
+      columns.push_back(stats::JsonValue{h});
+    }
+    t.set("columns", std::move(columns));
+    stats::JsonValue rows = stats::JsonValue::array();
+    for (std::size_t i = 0; i < table.num_rows(); ++i) {
+      stats::JsonValue row = stats::JsonValue::array();
+      for (const std::string& c : table.row_cells(i)) {
+        row.push_back(stats::JsonValue{c});
+      }
+      rows.push_back(std::move(row));
+    }
+    t.set("rows", std::move(rows));
+    tables_.push_back(std::move(t));
+  }
+
+  [[nodiscard]] stats::JsonValue to_json() const {
+    stats::JsonValue root = stats::JsonValue::object();
+    root.set("schema_version", stats::JsonValue{kSchemaVersion});
+    root.set("bench", stats::JsonValue{name_});
+    root.set("seed", stats::JsonValue{seed_});
+    root.set("config", config_.to_json());
+    root.set("metrics", metrics_.to_json());
+    stats::JsonValue tables = stats::JsonValue::array();
+    for (const stats::JsonValue& t : tables_) tables.push_back(t);
+    root.set("tables", std::move(tables));
+    return root;
+  }
+
+  /// Writes BENCH_<name>.json into the working directory (or `path`).
+  bool write() const { return write("BENCH_" + name_ + ".json"); }
+  bool write(const std::string& path) const {
+    std::ofstream out{path};
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    out << to_json().dump(2) << '\n';
+    out.close();
+    if (!out) {
+      std::fprintf(stderr, "warning: short write to %s\n", path.c_str());
+      return false;
+    }
+    std::printf("report: %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::uint64_t seed_ = 0;
+  stats::MetricsRegistry config_;
+  stats::MetricsRegistry metrics_;
+  std::vector<stats::JsonValue> tables_;
+};
 
 }  // namespace hp2p::bench

@@ -12,6 +12,7 @@ using namespace hp2p;
 
 int main() {
   const auto scale = bench::scale_from_env();
+  bench::Reporter reporter{"fig3_analysis", scale};
   bench::print_header(
       "Fig. 3a -- average join latency (hops) vs p_s, per delta",
       "hybrid beats both pure systems; minimum near p_s ~ 0.7-0.8; larger "
@@ -32,9 +33,13 @@ int main() {
       }
     }
     table.print(std::cout);
+    reporter.add_table("fig3a_model_join_hops", table);
     for (double delta : deltas) {
-      std::printf("optimal p_s for join (delta=%g): %.2f\n", delta,
-                  analysis::optimal_ps_for_join(scale.peers, delta));
+      const double opt = analysis::optimal_ps_for_join(scale.peers, delta);
+      std::printf("optimal p_s for join (delta=%g): %.2f\n", delta, opt);
+      reporter.metrics().set(
+          "optimal_join_ps.delta_" + std::to_string(static_cast<int>(delta)),
+          opt);
     }
   }
 
@@ -62,6 +67,7 @@ int main() {
       table.cell(analysis::lookup_hops_unconstrained(p), 3);
     }
     table.print(std::cout);
+    reporter.add_table("fig3b_model_lookup_hops", table);
   }
 
   bench::print_header(
@@ -86,11 +92,14 @@ int main() {
       // Eq. (1): (1-ps) * (1-ps)N/2 linear term replaced by hops measured.
       table.row().cell(ps, 2).cell(sim_hops, 2).cell(
           analysis::average_join_hops(p), 2);
+      reporter.metrics().set("sim_join_hops.ps_" + bench::metric_num(ps),
+                             sim_hops);
     }
     table.print(std::cout);
+    reporter.add_table("fig3a_sim_check_join_hops", table);
     std::printf("note: simulated joins use ring forwarding, the model's "
                 "finger-accelerated term\nis a lower bound; shapes (interior "
                 "minimum, rising tail) should agree.\n");
   }
-  return 0;
+  return reporter.write() ? 0 : 1;
 }

@@ -16,7 +16,8 @@ using namespace hp2p;
 namespace {
 
 void run_scheme(const bench::Scale& scale, hybrid::PlacementScheme scheme,
-                const char* label) {
+                const char* label, bench::Reporter& reporter,
+                const char* metric_prefix) {
   stats::Table table{{"p_s", "empty_frac", "p50", "p90", "max",
                       "mean_items"}};
   for (double ps : {0.0, 0.4, 0.9}) {
@@ -46,9 +47,14 @@ void run_scheme(const bench::Scale& scale, hybrid::PlacementScheme scheme,
         .cell(p90)
         .cell(dist.max_value())
         .cell(mean, 2);
+    const std::string base =
+        std::string{metric_prefix} + ".ps_" + bench::metric_num(ps);
+    reporter.metrics().set(base + ".empty_frac", dist.fraction_zero());
+    reporter.metrics().set(base + ".max_items", dist.max_value());
   }
   std::printf("\n--- placement scheme: %s ---\n", label);
   table.print(std::cout);
+  reporter.add_table(metric_prefix, table);
 }
 
 void print_pdf(const bench::Scale& scale, double ps,
@@ -72,6 +78,7 @@ void print_pdf(const bench::Scale& scale, double ps,
 
 int main() {
   const auto scale = bench::scale_from_env();
+  bench::Reporter reporter{"fig4_data_distribution", scale};
   bench::print_header(
       "Fig. 4 -- pdf of data items per peer, two placement schemes",
       "scheme 1: at p_s=0.9 ~85% of peers empty, hot t-peers hold 100s; "
@@ -79,14 +86,14 @@ int main() {
       scale);
 
   run_scheme(scale, hybrid::PlacementScheme::kTPeerStores,
-             "scheme 1 (t-peer stores)");
+             "scheme 1 (t-peer stores)", reporter, "scheme1_tpeer_stores");
   run_scheme(scale, hybrid::PlacementScheme::kRandomSpread,
-             "scheme 2 (random spread)");
+             "scheme 2 (random spread)", reporter, "scheme2_random_spread");
 
   // Full pdfs for the p_s = 0.9 panels (Fig. 4c vs 4f).
   print_pdf(scale, 0.9, hybrid::PlacementScheme::kTPeerStores,
             "scheme 1 (Fig. 4c)");
   print_pdf(scale, 0.9, hybrid::PlacementScheme::kRandomSpread,
             "scheme 2 (Fig. 4f)");
-  return 0;
+  return reporter.write() ? 0 : 1;
 }

@@ -12,6 +12,7 @@ using namespace hp2p;
 
 int main() {
   auto scale = bench::scale_from_env();
+  bench::Reporter reporter{"fig5a_failure_ratio", scale};
   bench::print_header(
       "Fig. 5a -- lookup failure ratio vs p_s, per TTL",
       "zero below p_s=0.5; grows with p_s; larger TTL cuts failures "
@@ -30,8 +31,12 @@ int main() {
         return exp::run_hybrid_experiment(cfg).lookups.failure_ratio();
       });
       table.cell(ratio, 4);
+      reporter.metrics().set("failure_ratio.ps_" + bench::metric_num(ps) +
+                                 ".ttl_" + std::to_string(ttl),
+                             ratio);
     }
   }
   table.print(std::cout);
-  return 0;
+  reporter.add_table("fig5a_failure_ratio", table);
+  return reporter.write() ? 0 : 1;
 }

@@ -13,6 +13,7 @@ using namespace hp2p;
 
 int main() {
   auto scale = bench::scale_from_env();
+  bench::Reporter reporter{"fig5b_crash", scale};
   bench::print_header(
       "Fig. 5b -- lookup failure ratio vs fraction of crashed peers",
       "linear in the crash fraction; level is insensitive to p_s "
@@ -35,8 +36,13 @@ int main() {
         return exp::run_hybrid_experiment(cfg).lookups.failure_ratio();
       });
       table.cell(ratio, 4);
+      reporter.metrics().set("failure_ratio.crashed_" +
+                                 bench::metric_num(crashed) + ".ps_" +
+                                 bench::metric_num(ps),
+                             ratio);
     }
   }
   table.print(std::cout);
-  return 0;
+  reporter.add_table("fig5b_crash_failure_ratio", table);
+  return reporter.write() ? 0 : 1;
 }

@@ -10,12 +10,14 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "exp/metrics_collect.hpp"
 #include "stats/table.hpp"
 
 using namespace hp2p;
 
 int main() {
   auto scale = bench::scale_from_env();
+  bench::Reporter reporter{"fig6a_heterogeneity", scale};
   bench::print_header(
       "Fig. 6a -- average lookup latency vs p_s, link heterogeneity on/off",
       "latency decreases with p_s; capacity-aware roles cut ~20% around "
@@ -40,8 +42,12 @@ int main() {
     const double aware = measure(true);
     table.row().cell(ps, 1).cell(basic, 1).cell(aware, 1).cell(
         basic > 0 ? (basic - aware) / basic : 0.0, 3);
+    const std::string base = "lookup_latency_ms.ps_" + bench::metric_num(ps);
+    reporter.metrics().set(base + ".basic", basic);
+    reporter.metrics().set(base + ".aware", aware);
   }
   table.print(std::cout);
+  reporter.add_table("fig6a_lookup_latency", table);
 
   // The imbalance that motivates the whole Section: t-peers carry far more
   // traffic than s-peers, so fast hosts belong on the t-network.
@@ -62,7 +68,12 @@ int main() {
                   ? r.mean_tpeer_traffic / r.mean_speer_traffic
                   : 0.0,
               1);
+    // Full metric tree for the heaviest configuration, as a load anchor.
+    if (ps == 0.9) {
+      exp::collect_run_result(reporter.metrics(), "run_ps_0p9", r);
+    }
   }
   load.print(std::cout);
-  return 0;
+  reporter.add_table("fig6a_per_role_traffic", load);
+  return reporter.write() ? 0 : 1;
 }

@@ -14,6 +14,7 @@ using namespace hp2p;
 
 int main() {
   auto scale = bench::scale_from_env();
+  bench::Reporter reporter{"fig6b_topology_aware", scale};
   bench::print_header(
       "Fig. 6b -- average lookup latency vs p_s, topology awareness",
       "aware < basic for mid p_s; more landmarks -> lower latency; curves "
@@ -36,12 +37,16 @@ int main() {
         return exp::run_hybrid_experiment(cfg).lookup_latency_ms.mean();
       });
     };
-    table.row()
-        .cell(ps, 1)
-        .cell(measure(false, 0), 1)
-        .cell(measure(true, 8), 1)
-        .cell(measure(true, 12), 1);
+    const double basic = measure(false, 0);
+    const double aware8 = measure(true, 8);
+    const double aware12 = measure(true, 12);
+    table.row().cell(ps, 1).cell(basic, 1).cell(aware8, 1).cell(aware12, 1);
+    const std::string base = "lookup_latency_ms.ps_" + bench::metric_num(ps);
+    reporter.metrics().set(base + ".basic", basic);
+    reporter.metrics().set(base + ".aware_8lm", aware8);
+    reporter.metrics().set(base + ".aware_12lm", aware12);
   }
   table.print(std::cout);
-  return 0;
+  reporter.add_table("fig6b_lookup_latency", table);
+  return reporter.write() ? 0 : 1;
 }

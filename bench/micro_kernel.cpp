@@ -1,8 +1,16 @@
 // Microbenchmarks for the kernel-level building blocks: event queue, RNG,
-// hashing, finger-table scans, Dijkstra/underlay construction, and
-// histogram updates.  google-benchmark binary.
+// hashing, finger-table scans, Dijkstra/underlay construction, histogram
+// updates, and the Section 7 cache lookup structures.  google-benchmark
+// binary with a custom main: every run is mirrored into
+// BENCH_micro_kernel.json so throughput regressions are machine-checkable
+// (e.g. the event-loop items_per_second guarding the trace-hook overhead).
 #include <benchmark/benchmark.h>
 
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_util.hpp"
 #include "chord/finger_table.hpp"
 #include "common/hashing.hpp"
 #include "common/rng.hpp"
@@ -48,6 +56,89 @@ void BM_EventQueueCancelHeavy(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_EventQueueCancelHeavy)->Arg(10000);
+
+void BM_EventQueueTraced(benchmark::State& state) {
+  // Same workload as BM_EventQueueScheduleRun but with a trace hook set:
+  // the delta against the untraced run is the cost a subscriber pays.
+  const auto n = static_cast<std::int64_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::uint64_t fires = 0;
+    sim.set_trace([&fires](const sim::TraceEvent& ev) {
+      if (ev.kind == sim::TraceEvent::Kind::kFire) ++fires;
+    });
+    std::uint64_t sink = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      sim.schedule_at(sim::SimTime::micros((i * 7919) % 100000),
+                      [&sink] { ++sink; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sink);
+    benchmark::DoNotOptimize(fires);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueTraced)->Arg(10000);
+
+// --- Section 7 cache lookup: the seed's linear deque scan vs the indexed
+// map answer_source now uses.  Same record shape, same probe stream.
+
+struct CacheRec {
+  std::uint64_t id;
+  std::uint64_t expires;
+};
+
+std::vector<std::uint64_t> cache_probes(std::size_t cap) {
+  Rng rng{6};
+  std::vector<std::uint64_t> probes;
+  probes.reserve(1024);
+  for (std::size_t i = 0; i < 1024; ++i) {
+    probes.push_back(rng.uniform(0, static_cast<std::int64_t>(cap) - 1) *
+                     2654435761ULL);
+  }
+  return probes;
+}
+
+void BM_CacheLinearScan(benchmark::State& state) {
+  const auto cap = static_cast<std::size_t>(state.range(0));
+  std::deque<CacheRec> cache;
+  for (std::size_t i = 0; i < cap; ++i) {
+    cache.push_back({i * 2654435761ULL, 1});
+  }
+  const auto probes = cache_probes(cap);
+  std::size_t p = 0;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    const std::uint64_t id = probes[p++ & 1023];
+    for (const CacheRec& rec : cache) {
+      if (rec.id == id) {
+        sink += rec.expires;
+        break;
+      }
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheLinearScan)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_CacheIndexedLookup(benchmark::State& state) {
+  const auto cap = static_cast<std::size_t>(state.range(0));
+  std::unordered_map<std::uint64_t, CacheRec> cache;
+  for (std::size_t i = 0; i < cap; ++i) {
+    cache.emplace(i * 2654435761ULL, CacheRec{i * 2654435761ULL, 1});
+  }
+  const auto probes = cache_probes(cap);
+  std::size_t p = 0;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    const auto it = cache.find(probes[p++ & 1023]);
+    if (it != cache.end()) sink += it->second.expires;
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheIndexedLookup)->Arg(8)->Arg(64)->Arg(512);
 
 void BM_RngUniform(benchmark::State& state) {
   Rng rng{1};
@@ -118,6 +209,58 @@ void BM_HistogramAdd(benchmark::State& state) {
 }
 BENCHMARK(BM_HistogramAdd);
 
+// Console output as usual, plus every iteration run copied into the shared
+// bench::Reporter so BENCH_micro_kernel.json carries per-bench
+// real/cpu time and rate counters.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCaptureReporter(bench::Reporter& out) : out_(out) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const std::string key = metric_key(run.benchmark_name());
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      out_.metrics().set(key + ".real_time_ns",
+                         run.real_accumulated_time / iters * 1e9);
+      out_.metrics().set(key + ".cpu_time_ns",
+                         run.cpu_accumulated_time / iters * 1e9);
+      out_.metrics().set(key + ".iterations",
+                         static_cast<std::uint64_t>(run.iterations));
+      for (const auto& [cname, counter] : run.counters) {
+        // The library finishes counters (applies kIsRate etc.) before
+        // handing runs to reporters; counter.value is the displayed number.
+        out_.metrics().set(key + "." + metric_key(cname), counter.value);
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  // "BM_Foo/1000" nests at the '/'; '.' and ':' would nest or collide.
+  static std::string metric_key(std::string name) {
+    for (char& c : name) {
+      if (c == '/') {
+        c = '.';
+      } else if (c == '.' || c == ':') {
+        c = '_';
+      }
+    }
+    return name;
+  }
+
+  bench::Reporter& out_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  hp2p::bench::Reporter reporter{"micro_kernel"};
+  JsonCaptureReporter display{reporter};
+  benchmark::RunSpecifiedBenchmarks(&display);
+  benchmark::Shutdown();
+  return reporter.write() ? 0 : 1;
+}

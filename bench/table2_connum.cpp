@@ -15,6 +15,7 @@ using namespace hp2p;
 
 int main() {
   auto scale = bench::scale_from_env();
+  bench::Reporter reporter{"table2_connum", scale};
   bench::print_header(
       "Table 2 -- total connum vs p_s, per TTL",
       "linear decay in p_s; TTL-insensitive below p_s=0.5, mildly "
@@ -33,9 +34,13 @@ int main() {
         return static_cast<double>(exp::run_hybrid_experiment(cfg).connum());
       });
       table.cell(static_cast<std::uint64_t>(connum));
+      reporter.metrics().set("connum.ps_" + bench::metric_num(ps) + ".ttl_" +
+                                 std::to_string(ttl),
+                             connum);
     }
   }
   table.print(std::cout);
   table.print_csv(std::cout);
-  return 0;
+  reporter.add_table("table2_connum", table);
+  return reporter.write() ? 0 : 1;
 }

@@ -1,6 +1,7 @@
 #include "exp/harness.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <optional>
 #include <unordered_map>
 
@@ -70,6 +71,22 @@ RunResult run_hybrid_experiment(const RunConfig& raw_config) {
   HybridSystem system{network, config.hybrid, HostIndex{0}, build_rng};
 
   RunResult result;
+
+  // Phase timing: host wall clock + simulated span since the last mark.
+  auto wall_mark = std::chrono::steady_clock::now();
+  sim::SimTime sim_mark = sim.now();
+  const auto end_phase = [&](const char* name) {
+    const auto wall_now = std::chrono::steady_clock::now();
+    PhaseTiming timing;
+    timing.name = name;
+    timing.wall_ms =
+        std::chrono::duration<double, std::milli>(wall_now - wall_mark)
+            .count();
+    timing.sim_ms = (sim.now() - sim_mark).as_millis();
+    result.phases.push_back(std::move(timing));
+    wall_mark = wall_now;
+    sim_mark = sim.now();
+  };
 
   // ---- Build phase ----------------------------------------------------------
   const auto roles = role_sequence(config.num_peers, config.hybrid.ps,
@@ -143,6 +160,7 @@ RunResult run_hybrid_experiment(const RunConfig& raw_config) {
   if (config.hybrid.t_routing == hybrid::TRouting::kFinger) {
     system.refresh_all_fingers();
   }
+  end_phase("build");
 
   // ---- Populate phase -------------------------------------------------------
   std::vector<DataId> stored_ids;
@@ -174,6 +192,7 @@ RunResult run_hybrid_experiment(const RunConfig& raw_config) {
         });
   }
   sim.run();
+  end_phase("populate");
 
   // ---- Optional crash / maintenance phase ---------------------------------------
   const bool heartbeats = config.crash_fraction > 0.0 ||
@@ -191,6 +210,7 @@ RunResult run_hybrid_experiment(const RunConfig& raw_config) {
       }
     }
     sim.run_until(sim.now() + config.recovery_time);
+    end_phase("maintenance");
   }
 
   // ---- Lookup phase -----------------------------------------------------------
@@ -239,10 +259,12 @@ RunResult run_hybrid_experiment(const RunConfig& raw_config) {
   } else {
     sim.run();
   }
+  end_phase("lookup");
 
   // ---- Collection ----------------------------------------------------------------
   result.items_per_peer = system.items_per_peer();
   result.network = network.stats();
+  result.sim_stats = sim.stats();
   result.num_tpeers = system.num_tpeers();
   result.num_speers = system.num_speers();
   result.bypass_installs = system.bypass_installs();

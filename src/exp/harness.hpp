@@ -9,7 +9,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <exception>
 #include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -17,6 +21,7 @@
 #include "hybrid/params.hpp"
 #include "proto/metrics.hpp"
 #include "proto/overlay_network.hpp"
+#include "sim/simulator.hpp"
 #include "sim/time.hpp"
 #include "stats/summary.hpp"
 
@@ -78,6 +83,13 @@ struct RunConfig {
   sim::Duration op_spacing = sim::SimTime::millis(5);
 };
 
+/// How long one harness phase took, in both host and simulated time.
+struct PhaseTiming {
+  std::string name;    // "build", "populate", "maintenance", "lookup"
+  double wall_ms = 0;  // host wall-clock spent executing the phase
+  double sim_ms = 0;   // simulated time the phase covered
+};
+
 /// Everything one replica measures.
 struct RunResult {
   proto::LookupStats lookups;
@@ -106,6 +118,10 @@ struct RunResult {
   /// the load-imbalance observation motivating Section 5.1.
   double mean_tpeer_traffic = 0;
   double mean_speer_traffic = 0;
+  /// Per-phase wall/sim-time timings, in execution order.
+  std::vector<PhaseTiming> phases;
+  /// Event-kernel counters for the whole replica.
+  sim::SimulatorStats sim_stats;
 
   /// Table 2's metric: total peers contacted across all lookups.
   [[nodiscard]] std::uint64_t connum() const {
@@ -117,28 +133,45 @@ struct RunResult {
 [[nodiscard]] RunResult run_hybrid_experiment(const RunConfig& config);
 
 /// Maps `fn` over `configs` on a thread pool (replicas are independent).
+/// Results are constructed in place (no default-constructibility needed).
+/// If a worker throws, remaining work is abandoned and the first exception
+/// is rethrown here after all threads have joined.
 template <typename Config, typename Fn>
 auto parallel_map(const std::vector<Config>& configs, Fn fn,
                   unsigned max_threads = 0) {
   using Result = decltype(fn(configs.front()));
-  std::vector<Result> results(configs.size());
+  std::vector<Result> results;
   if (configs.empty()) return results;
+  std::vector<std::optional<Result>> slots(configs.size());
   unsigned workers = max_threads != 0 ? max_threads
                                       : std::thread::hardware_concurrency();
   workers = std::max(1u, std::min<unsigned>(
                              workers, static_cast<unsigned>(configs.size())));
   std::vector<std::thread> pool;
   std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
   for (unsigned w = 0; w < workers; ++w) {
     pool.emplace_back([&] {
       for (;;) {
         const std::size_t i = next.fetch_add(1);
-        if (i >= configs.size()) return;
-        results[i] = fn(configs[i]);
+        if (i >= configs.size() || failed.load()) return;
+        try {
+          slots[i].emplace(fn(configs[i]));
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock{error_mutex};
+          if (!first_error) first_error = std::current_exception();
+          failed.store(true);
+          return;
+        }
       }
     });
   }
   for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+  results.reserve(slots.size());
+  for (auto& slot : slots) results.push_back(std::move(*slot));
   return results;
 }
 

@@ -1,0 +1,37 @@
+// Collectors that flatten the harness's counter structs into a
+// stats::MetricsRegistry under conventional dotted prefixes:
+//
+//   sim.*     SimulatorStats        (collect_sim_stats)
+//   net.*     NetworkStats          (collect_network_stats, incl. per-class)
+//   lookup.*  LookupStats           (collect_lookup_stats)
+//   config.*  RunConfig             (collect_run_config)
+//   <all>     RunResult             (collect_run_result: lookup/net/sim/
+//                                    phase/summaries/counters in one call)
+//
+// Benches hand the resulting registry to bench::Reporter, which nests it
+// into the "metrics" object of BENCH_<name>.json.
+#pragma once
+
+#include <string>
+
+#include "exp/harness.hpp"
+#include "stats/metrics.hpp"
+
+namespace hp2p::exp {
+
+void collect_sim_stats(stats::MetricsRegistry& reg, const std::string& prefix,
+                       const sim::SimulatorStats& s);
+void collect_network_stats(stats::MetricsRegistry& reg,
+                           const std::string& prefix,
+                           const proto::NetworkStats& s);
+void collect_lookup_stats(stats::MetricsRegistry& reg,
+                          const std::string& prefix,
+                          const proto::LookupStats& s);
+void collect_run_config(stats::MetricsRegistry& reg, const std::string& prefix,
+                        const RunConfig& c);
+
+/// Everything a replica measured, under `prefix` (empty = top level).
+void collect_run_result(stats::MetricsRegistry& reg, const std::string& prefix,
+                        const RunResult& r);
+
+}  // namespace hp2p::exp

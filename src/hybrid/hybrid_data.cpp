@@ -90,17 +90,24 @@ void HybridSystem::store_id(PeerIndex from, DataId id, const std::string& key,
 void HybridSystem::forward_up_to_tpeer(
     PeerIndex at, std::uint32_t bytes, proto::TrafficClass cls,
     std::function<void(PeerIndex, std::uint32_t)> at_root,
-    std::uint32_t hops) {
+    std::uint32_t hops, std::function<void()> on_dead) {
   Peer& p = peer(at);
   if (p.role == Role::kTPeer) {
     at_root(at, hops);
     return;
   }
   const PeerIndex next = p.cp != kNoPeer ? p.cp : p.tpeer;
-  if (next == kNoPeer) return;  // detached orphan: request dies, timer fires
+  if (next == kNoPeer) {
+    // Detached orphan: there is no upward path, so the request can never
+    // reach the t-network.  Tell the caller now instead of going silent.
+    if (on_dead) on_dead();
+    return;
+  }
   net_.send(at, next, cls, bytes,
-            [this, next, bytes, cls, at_root = std::move(at_root), hops] {
-              forward_up_to_tpeer(next, bytes, cls, at_root, hops + 1);
+            [this, next, bytes, cls, at_root = std::move(at_root), hops,
+             on_dead = std::move(on_dead)] {
+              forward_up_to_tpeer(next, bytes, cls, at_root, hops + 1,
+                                  on_dead);
             });
 }
 
@@ -228,13 +235,14 @@ void HybridSystem::maybe_add_bypass(PeerIndex a, PeerIndex b) {
 
 void HybridSystem::prune_bypass(Peer& p) {
   std::erase_if(p.bypass, [this](const BypassLink& l) {
-    return l.expires < sim_.now() || !net_.alive(l.to) || !peer(l.to).joined;
+    return sim::expired(l.expires, sim_.now()) || !net_.alive(l.to) ||
+           !peer(l.to).joined;
   });
 }
 
 HybridSystem::BypassLink* HybridSystem::find_bypass(Peer& p, DataId id) {
   for (BypassLink& l : p.bypass) {
-    if (l.expires < sim_.now()) continue;
+    if (sim::expired(l.expires, sim_.now())) continue;
     if (!net_.alive(l.to) || !peer(l.to).joined) continue;
     if (ring::in_arc_open_closed(id.value(), l.segment_lo.value(),
                                  l.segment_hi.value())) {
@@ -289,7 +297,7 @@ void HybridSystem::lookup_id(PeerIndex from, DataId id, LookupCallback done) {
           [this, qid, from](PeerIndex root, std::uint32_t hops) {
             bt_lookup(from, qid, root, hops);
           },
-          0);
+          0, [this, qid] { fail_query_fast(qid); });
       return;
     }
     // Local search with the configured TTL.
@@ -370,7 +378,7 @@ void HybridSystem::start_remote_lookup(PeerIndex origin, std::uint64_t qid,
                    },
                    std::move(intercept));
       },
-      0);
+      0, [this, qid] { fail_query_fast(qid); });
 }
 
 void HybridSystem::bt_lookup(PeerIndex /*origin*/, std::uint64_t qid,
@@ -462,11 +470,10 @@ const proto::DataItem* HybridSystem::answer_source(Peer& p, DataId id,
     return item;
   }
   if (!params_.enable_caching) return nullptr;
-  for (const auto& entry : p.cache) {
-    if (entry.item.id == id && entry.expires >= sim_.now()) {
-      from_cache = true;
-      return &entry.item;
-    }
+  const auto it = p.cache.find(id);
+  if (it != p.cache.end() && !sim::expired(it->second.expires, sim_.now())) {
+    from_cache = true;
+    return &it->second.item;
   }
   return nullptr;
 }
@@ -475,14 +482,17 @@ void HybridSystem::cache_put(PeerIndex at, const proto::DataItem& item) {
   if (!params_.enable_caching || params_.cache_capacity == 0) return;
   Peer& p = peer(at);
   if (p.store.find(item.id) != nullptr) return;  // authoritative copy held
-  for (auto& entry : p.cache) {
-    if (entry.item.id == item.id) {
-      entry.expires = sim_.now() + params_.cache_ttl;  // refresh
-      return;
-    }
+  if (const auto it = p.cache.find(item.id); it != p.cache.end()) {
+    it->second.expires = sim_.now() + params_.cache_ttl;  // refresh
+    return;
   }
-  if (p.cache.size() >= params_.cache_capacity) p.cache.pop_front();
-  p.cache.push_back(Peer::CacheEntry{item, sim_.now() + params_.cache_ttl});
+  if (p.cache_fifo.size() >= params_.cache_capacity) {
+    p.cache.erase(p.cache_fifo.front());
+    p.cache_fifo.pop_front();
+  }
+  p.cache_fifo.push_back(item.id);
+  p.cache.emplace(item.id,
+                  Peer::CacheEntry{item, sim_.now() + params_.cache_ttl});
 }
 
 std::uint64_t HybridSystem::max_answers_served() const {
@@ -651,6 +661,12 @@ void HybridSystem::keyword_flood(PeerIndex at, PeerIndex from,
       keyword_flood(n, at, qid, ttl - 1);
     });
   }
+}
+
+void HybridSystem::fail_query_fast(std::uint64_t qid) {
+  proto::LookupResult r;
+  r.fast_fail = true;
+  finish_query(qid, r);
 }
 
 void HybridSystem::finish_query(std::uint64_t qid,

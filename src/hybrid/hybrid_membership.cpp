@@ -1021,7 +1021,7 @@ void HybridSystem::heartbeat_step(PeerIndex p_idx) {
     auto heard = p.last_heard.find(n.value());
     if (heard == p.last_heard.end()) {
       p.last_heard[n.value()] = now;
-    } else if (now - heard->second > params_.hello_timeout) {
+    } else if (sim::expired(heard->second + params_.hello_timeout, now)) {
       on_neighbor_dead(p_idx, n);
       continue;
     }

@@ -244,12 +244,15 @@ class HybridSystem {
     proto::DataStore store;
     // BitTorrent style: tracker index at the t-peer (d_id -> holder).
     std::unordered_map<DataId, PeerIndex> tracker_index;
-    // Section 7 caching scheme: recently fetched items, oldest first.
+    // Section 7 caching scheme: recently fetched items.  The map gives O(1)
+    // hits on the lookup fast path; the deque preserves FIFO eviction order
+    // (each cached id appears in it exactly once).
     struct CacheEntry {
       proto::DataItem item;
       sim::SimTime expires{};
     };
-    std::deque<CacheEntry> cache;
+    std::unordered_map<DataId, CacheEntry> cache;
+    std::deque<DataId> cache_fifo;  // oldest first
     std::uint64_t answers_served = 0;
 
     // Failure-detection bookkeeping.
@@ -336,10 +339,15 @@ class HybridSystem {
   // --- Data path ---------------------------------------------------------------
 
   [[nodiscard]] bool in_local_segment(const Peer& p, DataId id) const;
+  /// Forwards up the cp chain to the s-network's t-peer, then runs `at_root`
+  /// there.  When the upward path is gone (detached orphan, mid-churn)
+  /// `on_dead` runs instead -- lookups use it to fail fast rather than
+  /// letting the requester wait out lookup_timeout.
   void forward_up_to_tpeer(PeerIndex at, std::uint32_t bytes,
                            proto::TrafficClass cls,
                            std::function<void(PeerIndex, std::uint32_t)> at_root,
-                           std::uint32_t hops);
+                           std::uint32_t hops,
+                           std::function<void()> on_dead = {});
   /// Forwards around the t-network until the owner of `target` is reached.
   /// When `intercept` is set it runs at every intermediate t-peer; returning
   /// true consumes the request there (cache hits at surrogate peers,
@@ -367,6 +375,8 @@ class HybridSystem {
                                                      bool& from_cache);
   void cache_put(PeerIndex at, const proto::DataItem& item);
   void finish_query(std::uint64_t qid, proto::LookupResult result);
+  /// Immediate failure (no timeout wait); sets LookupResult::fast_fail.
+  void fail_query_fast(std::uint64_t qid);
   void start_remote_lookup(PeerIndex origin, std::uint64_t qid, DataId id);
   void bt_lookup(PeerIndex origin, std::uint64_t qid, PeerIndex tracker,
                  std::uint32_t hops);

@@ -22,6 +22,9 @@ struct LookupResult {
   std::uint32_t peers_contacted = 0;
   /// Peer where the item was found; kNoPeer on failure.
   PeerIndex found_at = kNoPeer;
+  /// True when the failure was detected immediately (e.g. the requester has
+  /// no upward path into the overlay) instead of waiting out the timeout.
+  bool fast_fail = false;
 };
 
 /// Outcome of one join.
@@ -37,6 +40,7 @@ struct LookupStats {
   std::uint64_t issued = 0;
   std::uint64_t succeeded = 0;
   std::uint64_t failed = 0;
+  std::uint64_t fast_failed = 0;  // subset of failed: no timeout was waited
   std::uint64_t total_peers_contacted = 0;  // the paper's connum
   double total_success_latency_ms = 0;
   std::uint64_t total_success_hops = 0;
@@ -50,6 +54,7 @@ struct LookupStats {
       total_success_hops += r.request_hops;
     } else {
       ++failed;
+      if (r.fast_fail) ++fast_failed;
     }
   }
 

@@ -35,12 +35,15 @@ sim::SimTime OverlayNetwork::hop_latency(PeerIndex from, PeerIndex to,
 
 void OverlayNetwork::send(PeerIndex from, PeerIndex to, TrafficClass cls,
                           std::uint32_t bytes, Delivery deliver) {
+  using Kind = NetTraceEvent::Kind;
   if (!alive(from)) {
     ++stats_.messages_dropped;
+    if (trace_) trace_({Kind::kDropDeadSender, from, to, cls, bytes});
     return;
   }
   if (options_.loss_rate > 0.0 && loss_rng_.chance(options_.loss_rate)) {
     ++stats_.messages_lost;  // lost in transit; sender pays nothing extra
+    if (trace_) trace_({Kind::kLoss, from, to, cls, bytes});
     return;
   }
   ++stats_.messages_sent;
@@ -48,6 +51,7 @@ void OverlayNetwork::send(PeerIndex from, PeerIndex to, TrafficClass cls,
   stats_.bytes_sent += bytes;
   ++stats_.per_class_messages[static_cast<std::size_t>(cls)];
   stats_.per_class_bytes[static_cast<std::size_t>(cls)] += bytes;
+  if (trace_) trace_({Kind::kSend, from, to, cls, bytes});
 
   if (link_stress_) {
     underlay_.for_each_path_edge(host_of(from), host_of(to),
@@ -56,13 +60,15 @@ void OverlayNetwork::send(PeerIndex from, PeerIndex to, TrafficClass cls,
 
   const sim::SimTime delay = hop_latency(from, to, bytes);
   simulator_.schedule_after(
-      delay, [this, to, deliver = std::move(deliver)]() {
+      delay, [this, from, to, cls, bytes, deliver = std::move(deliver)]() {
         if (!alive(to)) {
           ++stats_.messages_dropped;
+          if (trace_) trace_({Kind::kDropDeadReceiver, from, to, cls, bytes});
           return;
         }
         ++stats_.messages_delivered;
         ++received_by_[to.value()];
+        if (trace_) trace_({Kind::kDeliver, from, to, cls, bytes});
         deliver();
       });
 }

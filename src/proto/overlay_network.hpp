@@ -59,6 +59,19 @@ struct NetworkStats {
   }
 };
 
+/// One transport-level trace record, delivered to the optional trace
+/// callback.  kSend fires at send time; the other kinds fire when the
+/// message's fate is decided (delivery, receiver-dead drop, in-transit
+/// loss, sender-dead drop at send time).
+struct NetTraceEvent {
+  enum class Kind { kSend, kDeliver, kDropDeadSender, kDropDeadReceiver, kLoss };
+  Kind kind;
+  PeerIndex from;
+  PeerIndex to;
+  TrafficClass cls;
+  std::uint32_t bytes;
+};
+
 /// Transport options.
 struct OverlayNetworkOptions {
   /// Adds bytes/access-link-capacity to every hop (Section 5.1 model).
@@ -126,6 +139,12 @@ class OverlayNetwork {
     return link_stress_ ? &*link_stress_ : nullptr;
   }
 
+  using TraceFn = std::function<void(const NetTraceEvent&)>;
+  /// Installs (or, with an empty function, removes) a trace callback invoked
+  /// on every send/deliver/drop/loss.  One predicted branch per message when
+  /// unset.
+  void set_trace(TraceFn fn) { trace_ = std::move(fn); }
+
  private:
   sim::Simulator& simulator_;
   const net::Underlay& underlay_;
@@ -137,6 +156,7 @@ class OverlayNetwork {
   NetworkStats stats_;
   std::optional<net::LinkStress> link_stress_;
   Rng loss_rng_;
+  TraceFn trace_;
 };
 
 }  // namespace hp2p::proto

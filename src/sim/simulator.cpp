@@ -8,27 +8,46 @@ TimerId Simulator::schedule_at(SimTime when, Action action) {
   if (when < now_) when = now_;  // never schedule into the past
   const std::uint64_t seq = next_seq_++;
   heap_.push(HeapItem{when, seq});
-  pending_.emplace(seq, std::move(action));
+  pending_.emplace(seq, Pending{when, std::move(action)});
   ++stats_.events_scheduled;
+  if (trace_) trace_(TraceEvent{TraceEvent::Kind::kSchedule, seq, when});
   return TimerId{seq};
 }
 
 bool Simulator::cancel(TimerId id) {
   if (!id.valid()) return false;
-  const auto erased = pending_.erase(id.seq_);
-  if (erased != 0) ++stats_.events_cancelled;
-  return erased != 0;
+  auto it = pending_.find(id.seq_);
+  if (it == pending_.end()) return false;
+  const SimTime when = it->second.when;
+  pending_.erase(it);
+  ++stats_.events_cancelled;
+  if (trace_) trace_(TraceEvent{TraceEvent::Kind::kCancel, id.seq_, when});
+  return true;
+}
+
+const Simulator::HeapItem* Simulator::peek_live() {
+  while (!heap_.empty() && !pending_.contains(heap_.top().seq)) {
+    heap_.pop();  // cancelled; discard the corpse
+    ++stats_.corpses_skipped;
+  }
+  return heap_.empty() ? nullptr : &heap_.top();
 }
 
 bool Simulator::pop_live(HeapItem& out, Action& action) {
+  // One hash lookup per heap item, live or corpse: the find() both detects
+  // cancellation and yields the action.
   while (!heap_.empty()) {
     const HeapItem top = heap_.top();
+    const auto it = pending_.find(top.seq);
+    if (it == pending_.end()) {
+      heap_.pop();  // cancelled; discard the corpse
+      ++stats_.corpses_skipped;
+      continue;
+    }
     heap_.pop();
-    auto it = pending_.find(top.seq);
-    if (it == pending_.end()) continue;  // cancelled; skip the corpse
-    action = std::move(it->second);
-    pending_.erase(it);
     out = top;
+    action = std::move(it->second.action);
+    pending_.erase(it);
     return true;
   }
   return false;
@@ -40,6 +59,7 @@ bool Simulator::step() {
   if (!pop_live(item, action)) return false;
   now_ = item.when;
   ++stats_.events_executed;
+  if (trace_) trace_(TraceEvent{TraceEvent::Kind::kFire, item.seq, item.when});
   action();
   return true;
 }
@@ -50,10 +70,8 @@ void Simulator::run() {
 }
 
 void Simulator::run_until(SimTime deadline) {
-  for (;;) {
-    // Peek the next live event without executing it.
-    while (!heap_.empty() && !pending_.contains(heap_.top().seq)) heap_.pop();
-    if (heap_.empty() || heap_.top().when > deadline) break;
+  for (const HeapItem* next = peek_live();
+       next != nullptr && next->when <= deadline; next = peek_live()) {
     step();
   }
   if (now_ < deadline) now_ = deadline;

@@ -38,6 +38,17 @@ struct SimulatorStats {
   std::uint64_t events_scheduled = 0;
   std::uint64_t events_executed = 0;
   std::uint64_t events_cancelled = 0;
+  /// Cancelled heap entries discarded while looking for the next live event
+  /// (lazy cancellation leaves corpses behind; this counts their cleanup).
+  std::uint64_t corpses_skipped = 0;
+};
+
+/// One kernel-level trace record, delivered to the optional trace callback.
+struct TraceEvent {
+  enum class Kind { kSchedule, kFire, kCancel };
+  Kind kind;
+  std::uint64_t seq;  // event sequence number (matches TimerId)
+  SimTime when;       // scheduled fire time
 };
 
 /// The event loop.  Not thread-safe by design: replicas parallelize at the
@@ -45,6 +56,7 @@ struct SimulatorStats {
 class Simulator {
  public:
   using Action = std::function<void()>;
+  using TraceFn = std::function<void(const TraceEvent&)>;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -82,10 +94,19 @@ class Simulator {
 
   [[nodiscard]] const SimulatorStats& stats() const { return stats_; }
 
+  /// Installs (or, with an empty function, removes) a trace callback invoked
+  /// on every schedule/fire/cancel.  When unset the hook costs one predicted
+  /// branch per operation; see BM_EventQueueScheduleRun in micro_kernel.
+  void set_trace(TraceFn fn) { trace_ = std::move(fn); }
+
  private:
   struct HeapItem {
     SimTime when;
     std::uint64_t seq;
+  };
+  struct Pending {
+    SimTime when;  // kept so cancel() can report the fire time in traces
+    Action action;
   };
   struct Later {
     bool operator()(const HeapItem& a, const HeapItem& b) const {
@@ -94,6 +115,12 @@ class Simulator {
     }
   };
 
+  /// Discards cancelled corpses from the heap top (counting them in
+  /// stats_.corpses_skipped) and returns the next live item, or nullptr when
+  /// nothing live remains.  The returned pointer is invalidated by any heap
+  /// mutation.
+  const HeapItem* peek_live();
+
   /// Pops heap items until one still present in pending_ surfaces.
   /// Returns false when nothing live remains.
   bool pop_live(HeapItem& out, Action& action);
@@ -101,8 +128,9 @@ class Simulator {
   SimTime now_{};
   std::uint64_t next_seq_ = 1;
   std::priority_queue<HeapItem, std::vector<HeapItem>, Later> heap_;
-  std::unordered_map<std::uint64_t, Action> pending_;  // live events by seq
+  std::unordered_map<std::uint64_t, Pending> pending_;  // live events by seq
   SimulatorStats stats_;
+  TraceFn trace_;
 };
 
 }  // namespace hp2p::sim

@@ -64,4 +64,11 @@ class SimTime {
 /// distinction is contextual (schedule_after takes a duration).
 using Duration = SimTime;
 
+/// The one expiry convention: a deadline is expired iff `deadline <= now`.
+/// Every lease-like thing (bypass links, cache entries, HELLO liveness)
+/// must use this, so boundary semantics can't drift between subsystems.
+[[nodiscard]] constexpr bool expired(SimTime deadline, SimTime now) {
+  return deadline <= now;
+}
+
 }  // namespace hp2p::sim

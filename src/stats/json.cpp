@@ -1,0 +1,347 @@
+#include "stats/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace hp2p::stats {
+
+JsonValue::JsonValue(std::uint64_t u) {
+  if (u <= static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max())) {
+    v_ = static_cast<std::int64_t>(u);
+  } else {
+    v_ = static_cast<double>(u);  // beyond int64: precision over overflow
+  }
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : members()) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+JsonValue& JsonValue::set(std::string_view key, JsonValue value) {
+  for (auto& [k, v] : members()) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  members().emplace_back(std::string{key}, std::move(value));
+  return *this;
+}
+
+const JsonValue* JsonValue::find_path(std::string_view dotted) const {
+  const JsonValue* at = this;
+  while (!dotted.empty()) {
+    const std::size_t dot = dotted.find('.');
+    const std::string_view head =
+        dot == std::string_view::npos ? dotted : dotted.substr(0, dot);
+    at = at->find(head);
+    if (at == nullptr) return nullptr;
+    if (dot == std::string_view::npos) break;
+    dotted.remove_prefix(dot + 1);
+  }
+  return at;
+}
+
+// --- Serialization ------------------------------------------------------------
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_double(std::string& out, double d) {
+  if (!std::isfinite(d)) {
+    out += "null";  // JSON has no Inf/NaN; null is the conventional stand-in
+    return;
+  }
+  char buf[40];
+  // %.17g round-trips every double; trim to the shortest that re-parses.
+  for (int prec = 15; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, d);
+    double back = 0;
+    std::sscanf(buf, "%lf", &back);
+    if (back == d) break;
+  }
+  out += buf;
+  // Keep a numeric marker so integers-valued doubles stay doubles on re-read.
+  if (out.find_first_of(".eE", out.size() - std::string_view{buf}.size()) ==
+      std::string::npos) {
+    out += ".0";
+  }
+}
+
+void append_newline_indent(std::string& out, int indent, int depth) {
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent * depth), ' ');
+}
+
+}  // namespace
+
+void JsonValue::dump_to(std::string& out, int indent, int depth) const {
+  if (is_null()) {
+    out += "null";
+  } else if (is_bool()) {
+    out += as_bool() ? "true" : "false";
+  } else if (is_int()) {
+    out += std::to_string(std::get<std::int64_t>(v_));
+  } else if (is_double()) {
+    append_double(out, std::get<double>(v_));
+  } else if (is_string()) {
+    append_escaped(out, as_string());
+  } else if (is_array()) {
+    const Array& a = items();
+    if (a.empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (i != 0) out += ',';
+      if (indent > 0) append_newline_indent(out, indent, depth + 1);
+      a[i].dump_to(out, indent, depth + 1);
+    }
+    if (indent > 0) append_newline_indent(out, indent, depth);
+    out += ']';
+  } else {
+    const Object& o = members();
+    if (o.empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    for (std::size_t i = 0; i < o.size(); ++i) {
+      if (i != 0) out += ',';
+      if (indent > 0) append_newline_indent(out, indent, depth + 1);
+      append_escaped(out, o[i].first);
+      out += indent > 0 ? ": " : ":";
+      o[i].second.dump_to(out, indent, depth + 1);
+    }
+    if (indent > 0) append_newline_indent(out, indent, depth);
+    out += '}';
+  }
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+// --- Parsing ------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> run() {
+    auto v = value();
+    if (!v) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+  bool consume(char c) {
+    if (eof() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+  bool consume_word(std::string_view w) {
+    if (text_.substr(pos_, w.size()) != w) return false;
+    pos_ += w.size();
+    return true;
+  }
+
+  std::optional<JsonValue> value() {
+    skip_ws();
+    if (eof()) return std::nullopt;
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': {
+        auto s = string();
+        if (!s) return std::nullopt;
+        return JsonValue{std::move(*s)};
+      }
+      case 't':
+        return consume_word("true") ? std::optional<JsonValue>{JsonValue{true}}
+                                    : std::nullopt;
+      case 'f':
+        return consume_word("false")
+                   ? std::optional<JsonValue>{JsonValue{false}}
+                   : std::nullopt;
+      case 'n':
+        return consume_word("null")
+                   ? std::optional<JsonValue>{JsonValue{nullptr}}
+                   : std::nullopt;
+      default: return number();
+    }
+  }
+
+  std::optional<JsonValue> number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    while (!eof() && (std::isdigit(static_cast<unsigned char>(peek())) != 0)) ++pos_;
+    bool is_double = false;
+    if (consume('.')) {
+      is_double = true;
+      while (!eof() && (std::isdigit(static_cast<unsigned char>(peek())) != 0)) ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      is_double = true;
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      while (!eof() && (std::isdigit(static_cast<unsigned char>(peek())) != 0)) ++pos_;
+    }
+    const std::string_view tok = text_.substr(start, pos_ - start);
+    if (tok.empty() || tok == "-") return std::nullopt;
+    if (!is_double) {
+      std::int64_t i = 0;
+      const auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), i);
+      if (ec == std::errc{} && p == tok.data() + tok.size()) return JsonValue{i};
+      // Overflowed int64: fall through to double.
+    }
+    double d = 0;
+    const auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), d);
+    if (ec != std::errc{} || p != tok.data() + tok.size()) return std::nullopt;
+    return JsonValue{d};
+  }
+
+  std::optional<std::string> string() {
+    if (!consume('"')) return std::nullopt;
+    std::string out;
+    while (!eof()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (eof()) return std::nullopt;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return std::nullopt;
+          unsigned cp = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else return std::nullopt;
+          }
+          // BMP code point -> UTF-8 (surrogate pairs are not emitted by our
+          // writer; lone surrogates pass through as-is).
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default: return std::nullopt;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<JsonValue> array() {
+    if (!consume('[')) return std::nullopt;
+    JsonValue out = JsonValue::array();
+    skip_ws();
+    if (consume(']')) return out;
+    for (;;) {
+      auto v = value();
+      if (!v) return std::nullopt;
+      out.push_back(std::move(*v));
+      skip_ws();
+      if (consume(']')) return out;
+      if (!consume(',')) return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> object() {
+    if (!consume('{')) return std::nullopt;
+    JsonValue out = JsonValue::object();
+    skip_ws();
+    if (consume('}')) return out;
+    for (;;) {
+      skip_ws();
+      auto key = string();
+      if (!key) return std::nullopt;
+      skip_ws();
+      if (!consume(':')) return std::nullopt;
+      auto v = value();
+      if (!v) return std::nullopt;
+      out.members().emplace_back(std::move(*key), std::move(*v));
+      skip_ws();
+      if (consume('}')) return out;
+      if (!consume(',')) return std::nullopt;
+    }
+  }
+};
+
+}  // namespace
+
+std::optional<JsonValue> JsonValue::parse(std::string_view text) {
+  return Parser{text}.run();
+}
+
+}  // namespace hp2p::stats

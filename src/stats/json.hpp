@@ -1,0 +1,98 @@
+// Minimal JSON document model: enough to emit and re-read the repo's
+// machine-readable artifacts (BENCH_*.json, metric trees) without an
+// external dependency.  Integers and doubles are kept distinct so counters
+// round-trip exactly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace hp2p::stats {
+
+/// One JSON value (null, bool, integer, double, string, array, or object).
+/// Objects preserve insertion order; key lookup is linear, which is fine at
+/// report sizes.
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  using Member = std::pair<std::string, JsonValue>;
+  using Object = std::vector<Member>;
+
+  JsonValue() : v_(nullptr) {}
+  JsonValue(std::nullptr_t) : v_(nullptr) {}  // NOLINT(google-explicit-constructor)
+  JsonValue(bool b) : v_(b) {}                // NOLINT(google-explicit-constructor)
+  JsonValue(std::int64_t i) : v_(i) {}        // NOLINT(google-explicit-constructor)
+  JsonValue(int i) : v_(static_cast<std::int64_t>(i)) {}  // NOLINT
+  JsonValue(unsigned i) : v_(static_cast<std::int64_t>(i)) {}  // NOLINT
+  JsonValue(std::uint64_t u);                 // NOLINT(google-explicit-constructor)
+  JsonValue(double d) : v_(d) {}              // NOLINT(google-explicit-constructor)
+  JsonValue(const char* s) : v_(std::string{s}) {}  // NOLINT
+  JsonValue(std::string s) : v_(std::move(s)) {}    // NOLINT
+  JsonValue(Array a) : v_(std::move(a)) {}          // NOLINT
+  JsonValue(Object o) : v_(std::move(o)) {}         // NOLINT
+
+  [[nodiscard]] static JsonValue array() { return JsonValue{Array{}}; }
+  [[nodiscard]] static JsonValue object() { return JsonValue{Object{}}; }
+
+  [[nodiscard]] bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  [[nodiscard]] bool is_int() const { return std::holds_alternative<std::int64_t>(v_); }
+  [[nodiscard]] bool is_double() const { return std::holds_alternative<double>(v_); }
+  [[nodiscard]] bool is_number() const { return is_int() || is_double(); }
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  [[nodiscard]] bool is_array() const { return std::holds_alternative<Array>(v_); }
+  [[nodiscard]] bool is_object() const { return std::holds_alternative<Object>(v_); }
+
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(v_); }
+  [[nodiscard]] std::int64_t as_int() const {
+    if (is_double()) return static_cast<std::int64_t>(std::get<double>(v_));
+    return std::get<std::int64_t>(v_);
+  }
+  /// Numeric value as double (works for both integer and double nodes).
+  [[nodiscard]] double as_double() const {
+    if (is_int()) return static_cast<double>(std::get<std::int64_t>(v_));
+    return std::get<double>(v_);
+  }
+  [[nodiscard]] const std::string& as_string() const {
+    return std::get<std::string>(v_);
+  }
+  [[nodiscard]] const Array& items() const { return std::get<Array>(v_); }
+  [[nodiscard]] Array& items() { return std::get<Array>(v_); }
+  [[nodiscard]] const Object& members() const { return std::get<Object>(v_); }
+  [[nodiscard]] Object& members() { return std::get<Object>(v_); }
+
+  /// Object member by key; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+  /// Sets (replacing any existing) an object member.  The value must be an
+  /// object already.
+  JsonValue& set(std::string_view key, JsonValue value);
+  /// Appends to an array value.
+  void push_back(JsonValue value) { items().push_back(std::move(value)); }
+
+  /// Walks a dotted path ("config.peers"); nullptr when any hop is missing.
+  [[nodiscard]] const JsonValue* find_path(std::string_view dotted) const;
+
+  friend bool operator==(const JsonValue&, const JsonValue&) = default;
+
+  /// Serializes.  indent == 0 -> compact single line; indent > 0 -> pretty,
+  /// `indent` spaces per level.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+  /// Strict-enough parser for everything dump() produces (and ordinary JSON
+  /// besides).  std::nullopt on malformed input.
+  [[nodiscard]] static std::optional<JsonValue> parse(std::string_view text);
+
+ private:
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, Array,
+               Object>
+      v_;
+
+  void dump_to(std::string& out, int indent, int depth) const;
+};
+
+}  // namespace hp2p::stats

@@ -1,0 +1,114 @@
+#include "stats/metrics.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "stats/summary.hpp"
+
+namespace hp2p::stats {
+
+void MetricsRegistry::add(const std::string& name, double delta) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    entries_.emplace(name, JsonValue{delta});
+    return;
+  }
+  it->second = JsonValue{it->second.as_double() + delta};
+}
+
+void MetricsRegistry::add(const std::string& name, std::uint64_t delta) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    entries_.emplace(name, JsonValue{delta});
+    return;
+  }
+  if (it->second.is_int()) {
+    it->second = JsonValue{it->second.as_int() +
+                           static_cast<std::int64_t>(delta)};
+  } else {
+    it->second = JsonValue{it->second.as_double() +
+                           static_cast<double>(delta)};
+  }
+}
+
+void MetricsRegistry::collect_summary(const std::string& prefix,
+                                      const Summary& s) {
+  set(prefix + ".count", JsonValue{static_cast<std::uint64_t>(s.count())});
+  set(prefix + ".mean", JsonValue{s.mean()});
+  set(prefix + ".stddev", JsonValue{s.stddev()});
+  set(prefix + ".min", JsonValue{s.min()});
+  set(prefix + ".max", JsonValue{s.max()});
+}
+
+const JsonValue* MetricsRegistry::find(std::string_view name) const {
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+double MetricsRegistry::number_or(std::string_view name,
+                                  double fallback) const {
+  const JsonValue* v = find(name);
+  return (v != nullptr && v->is_number()) ? v->as_double() : fallback;
+}
+
+JsonValue MetricsRegistry::to_json() const {
+  JsonValue root = JsonValue::object();
+  for (const auto& [name, value] : entries_) {
+    JsonValue* at = &root;
+    std::string_view rest = name;
+    for (std::size_t dot = rest.find('.'); dot != std::string_view::npos;
+         dot = rest.find('.')) {
+      const std::string_view head = rest.substr(0, dot);
+      rest.remove_prefix(dot + 1);
+      JsonValue* child = nullptr;
+      for (auto& [k, v] : at->members()) {
+        if (k == head) {
+          child = &v;
+          break;
+        }
+      }
+      if (child == nullptr) {
+        at->members().emplace_back(std::string{head}, JsonValue::object());
+        child = &at->members().back().second;
+      } else if (!child->is_object()) {
+        // Name is both a leaf ("a") and a prefix ("a.b"): demote the leaf
+        // value to the empty key so both survive the round trip.
+        JsonValue leaf = std::move(*child);
+        *child = JsonValue::object();
+        child->members().emplace_back(std::string{}, std::move(leaf));
+      }
+      at = child;
+    }
+    at->set(rest, value);
+  }
+  return root;
+}
+
+MetricsRegistry MetricsRegistry::from_json(const JsonValue& tree) {
+  MetricsRegistry out;
+  if (!tree.is_object()) return out;
+  // Iterative DFS; paths are rebuilt by joining keys with '.'.
+  std::vector<std::pair<std::string, const JsonValue*>> stack;
+  for (auto it = tree.members().rbegin(); it != tree.members().rend(); ++it) {
+    stack.emplace_back(it->first, &it->second);
+  }
+  while (!stack.empty()) {
+    auto [path, node] = std::move(stack.back());
+    stack.pop_back();
+    if (node->is_object() && !node->members().empty()) {
+      for (auto it = node->members().rbegin(); it != node->members().rend();
+           ++it) {
+        std::string child = it->first.empty()
+                                ? path
+                                : (path.empty() ? it->first
+                                                : path + "." + it->first);
+        stack.emplace_back(std::move(child), &it->second);
+      }
+    } else {
+      out.set(std::move(path), *node);
+    }
+  }
+  return out;
+}
+
+}  // namespace hp2p::stats

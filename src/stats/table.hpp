@@ -28,6 +28,9 @@ class Table {
   /// RFC-4180-ish CSV (no quoting needed for our numeric cells).
   void print_csv(std::ostream& os) const;
 
+  [[nodiscard]] const std::vector<std::string>& headers() const {
+    return headers_;
+  }
   [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
   [[nodiscard]] const std::vector<std::string>& row_cells(std::size_t i) const {
     return rows_[i];

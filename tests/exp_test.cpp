@@ -2,6 +2,9 @@
 // paper's workload phases end to end.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <vector>
+
 #include "exp/harness.hpp"
 
 namespace hp2p::exp {
@@ -141,6 +144,44 @@ TEST(Harness, TPeersCarryMoreTrafficThanSPeers) {
 TEST(Harness, MeanOfHelper) {
   EXPECT_DOUBLE_EQ(mean_of({1.0, 2.0, 3.0}), 2.0);
   EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+}
+
+TEST(Harness, RecordsPhaseTimingsAndSimStats) {
+  const auto r = run_hybrid_experiment(small_config(31, 0.5));
+  ASSERT_GE(r.phases.size(), 3u);
+  EXPECT_EQ(r.phases[0].name, "build");
+  for (const auto& ph : r.phases) {
+    EXPECT_GE(ph.wall_ms, 0.0) << ph.name;
+    EXPECT_GE(ph.sim_ms, 0.0) << ph.name;
+  }
+  EXPECT_GT(r.sim_stats.events_executed, 0u);
+  EXPECT_GE(r.sim_stats.events_scheduled, r.sim_stats.events_executed);
+}
+
+TEST(ParallelMap, PropagatesWorkerExceptions) {
+  const std::vector<int> configs{0, 1, 2, 3, 4, 5, 6, 7};
+  EXPECT_THROW(parallel_map(
+                   configs,
+                   [](int c) -> int {
+                     if (c == 3) throw std::runtime_error{"boom"};
+                     return c * 2;
+                   },
+                   2),
+               std::runtime_error);
+}
+
+TEST(ParallelMap, SupportsNonDefaultConstructibleResults) {
+  struct Wrapped {
+    explicit Wrapped(int v) : value(v) {}
+    int value;
+  };
+  const std::vector<int> configs{1, 2, 3};
+  const auto out =
+      parallel_map(configs, [](int c) { return Wrapped{c * 10}; }, 2);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].value, 10);
+  EXPECT_EQ(out[1].value, 20);
+  EXPECT_EQ(out[2].value, 30);
 }
 
 }  // namespace

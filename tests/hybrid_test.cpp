@@ -9,6 +9,7 @@
 #include <set>
 #include <vector>
 
+#include "common/hashing.hpp"
 #include "hybrid/hybrid_system.hpp"
 #include "tests/test_util.hpp"
 
@@ -1381,6 +1382,90 @@ TEST_P(HybridDeltaSweep, TreeDegreeCapHolds) {
 
 INSTANTIATE_TEST_SUITE_P(Deltas, HybridDeltaSweep,
                          ::testing::Values(2u, 3u, 4u, 8u));
+
+// --- Lookup edge cases -------------------------------------------------------
+
+TEST(Hybrid, DetachedOrphanLookupFailsFast) {
+  HybridFixture f{77, defaults()};
+  f.build(30);
+  const auto keys = f.populate(20);
+  // A freshly added s-peer has neither a tree parent nor a t-peer until its
+  // join completes; a lookup issued from it has no upward path and must
+  // fail immediately instead of burning the whole lookup_timeout.
+  const PeerIndex orphan =
+      f.system.add_peer_with_role(f.world.next_host(), Role::kSPeer);
+  bool called = false;
+  proto::LookupResult res;
+  f.system.lookup(orphan, keys[0], [&](proto::LookupResult r) {
+    called = true;
+    res = r;
+  });
+  EXPECT_TRUE(called) << "fast fail must not wait for the simulator";
+  EXPECT_FALSE(res.success);
+  EXPECT_TRUE(res.fast_fail);
+
+  proto::LookupStats stats;
+  stats.record(res);
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.fast_failed, 1u);
+}
+
+TEST(Hybrid, CacheEntryExpiresExactlyAtDeadline) {
+  auto params = defaults();
+  params.enable_caching = true;
+  params.cache_capacity = 8;
+  params.cache_ttl = sim::SimTime::seconds(10);
+  HybridFixture f{78, params};
+  f.build(40);
+  const auto keys = f.populate(40);
+
+  // Pick a key the origin neither stores nor owns, so a successful lookup
+  // caches it at the origin.
+  const PeerIndex origin = f.peers[1];
+  std::string key;
+  for (const auto& k : keys) {
+    const DataId id = hash_key(k);
+    if (f.system.owner_tpeer(id) != f.system.tpeer_of(origin) &&
+        f.system.store_of(origin).find(id) == nullptr) {
+      key = k;
+      break;
+    }
+  }
+  ASSERT_FALSE(key.empty());
+
+  sim::SimTime cached_at{};
+  bool fetched = false;
+  f.system.lookup(origin, key, [&](proto::LookupResult r) {
+    fetched = r.success;
+    cached_at = f.world.sim.now();  // cache_put runs in this same event
+  });
+  f.world.sim.run();
+  ASSERT_TRUE(fetched);
+  const std::uint64_t hits_after_fetch = f.system.cache_hits();
+
+  const sim::SimTime deadline = cached_at + params.cache_ttl;
+  bool hit_before = false;
+  f.world.sim.schedule_at(deadline - sim::SimTime::micros(1), [&] {
+    f.system.lookup(origin, key, [&](proto::LookupResult r) {
+      hit_before = r.success && r.found_at == origin;
+    });
+  });
+  bool miss_checked = false;
+  f.world.sim.schedule_at(deadline, [&] {
+    f.system.lookup(origin, key, [&](proto::LookupResult r) {
+      miss_checked = true;
+      // Entry exactly at expires == now is dead: served remotely again.
+      EXPECT_TRUE(r.success);
+      EXPECT_NE(r.found_at, origin);
+      EXPECT_GT(r.latency, sim::SimTime{});
+    });
+  });
+  f.world.sim.run();
+  EXPECT_TRUE(hit_before) << "one microsecond early must still hit";
+  EXPECT_TRUE(miss_checked);
+  EXPECT_EQ(f.system.cache_hits(), hits_after_fetch + 1)
+      << "only the pre-deadline lookup may count as a cache hit";
+}
 
 }  // namespace
 }  // namespace hp2p::hybrid

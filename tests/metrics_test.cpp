@@ -1,0 +1,184 @@
+// Tests for the observability layer: MetricsRegistry aggregation, JSON
+// round-trips, and the BENCH_*.json schema emitted by bench::Reporter.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench/bench_util.hpp"
+#include "exp/harness.hpp"
+#include "exp/metrics_collect.hpp"
+#include "stats/json.hpp"
+#include "stats/metrics.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+
+namespace hp2p::stats {
+namespace {
+
+TEST(MetricsRegistry, SetFindAndNumberOr) {
+  MetricsRegistry reg;
+  reg.set("net.messages", JsonValue{std::int64_t{42}});
+  reg.set("net.loss_rate", JsonValue{0.25});
+  reg.set("label", JsonValue{"hello"});
+  ASSERT_NE(reg.find("net.messages"), nullptr);
+  EXPECT_EQ(reg.find("net.messages")->as_int(), 42);
+  EXPECT_DOUBLE_EQ(reg.number_or("net.loss_rate", -1.0), 0.25);
+  EXPECT_DOUBLE_EQ(reg.number_or("absent", -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(reg.number_or("label", -1.0), -1.0);  // non-numeric
+  EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(MetricsRegistry, AddAccumulates) {
+  MetricsRegistry reg;
+  reg.add("counter", std::uint64_t{3});
+  reg.add("counter", std::uint64_t{4});
+  EXPECT_DOUBLE_EQ(reg.number_or("counter", 0.0), 7.0);
+  reg.add("ratio", 0.5);
+  reg.add("ratio", 0.25);
+  EXPECT_DOUBLE_EQ(reg.number_or("ratio", 0.0), 0.75);
+}
+
+TEST(MetricsRegistry, CollectSummary) {
+  Summary s;
+  s.add(1.0);
+  s.add(2.0);
+  s.add(3.0);
+  MetricsRegistry reg;
+  reg.collect_summary("latency", s);
+  EXPECT_DOUBLE_EQ(reg.number_or("latency.count", -1), 3.0);
+  EXPECT_DOUBLE_EQ(reg.number_or("latency.mean", -1), 2.0);
+  EXPECT_DOUBLE_EQ(reg.number_or("latency.min", -1), 1.0);
+  EXPECT_DOUBLE_EQ(reg.number_or("latency.max", -1), 3.0);
+}
+
+TEST(MetricsRegistry, ToJsonNestsDottedNames) {
+  MetricsRegistry reg;
+  reg.set("a.b.c", JsonValue{std::int64_t{1}});
+  reg.set("a.b.d", JsonValue{std::int64_t{2}});
+  reg.set("top", JsonValue{true});
+  const JsonValue tree = reg.to_json();
+  ASSERT_NE(tree.find_path("a.b.c"), nullptr);
+  EXPECT_EQ(tree.find_path("a.b.c")->as_int(), 1);
+  EXPECT_EQ(tree.find_path("a.b.d")->as_int(), 2);
+  EXPECT_TRUE(tree.find_path("top")->as_bool());
+}
+
+TEST(MetricsRegistry, RoundTripPreservesIntDoubleDistinction) {
+  MetricsRegistry reg;
+  reg.set("count", JsonValue{std::int64_t{7}});
+  reg.set("whole_double", JsonValue{7.0});
+  reg.set("frac", JsonValue{0.125});
+  reg.set("deep.nested.value", JsonValue{"x"});
+  const MetricsRegistry back = MetricsRegistry::from_json(reg.to_json());
+  EXPECT_EQ(back, reg);
+  EXPECT_TRUE(back.find("count")->is_int());
+  EXPECT_TRUE(back.find("whole_double")->is_double());
+}
+
+TEST(MetricsRegistry, RoundTripSurvivesTextSerialization) {
+  MetricsRegistry reg;
+  reg.set("a.int", JsonValue{std::int64_t{123456789}});
+  reg.set("a.dbl", JsonValue{0.1 + 0.2});
+  reg.set("b", JsonValue{"text"});
+  const auto parsed = JsonValue::parse(reg.to_json().dump(2));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(MetricsRegistry::from_json(*parsed), reg);
+}
+
+TEST(MetricsRegistry, LeafAndPrefixCollisionRoundTrips) {
+  MetricsRegistry reg;
+  reg.set("a", JsonValue{std::int64_t{1}});
+  reg.set("a.b", JsonValue{std::int64_t{2}});
+  const MetricsRegistry back = MetricsRegistry::from_json(reg.to_json());
+  EXPECT_EQ(back, reg);
+}
+
+TEST(MetricsCollect, RunResultAggregatesAllCounterStructs) {
+  exp::RunConfig cfg;
+  cfg.seed = 9;
+  cfg.num_peers = 40;
+  cfg.num_items = 60;
+  cfg.num_lookups = 60;
+  cfg.hybrid.ps = 0.5;
+  const auto r = exp::run_hybrid_experiment(cfg);
+
+  MetricsRegistry reg;
+  exp::collect_run_result(reg, "run", r);
+  EXPECT_DOUBLE_EQ(reg.number_or("run.lookup.issued", -1),
+                   static_cast<double>(r.lookups.issued));
+  EXPECT_DOUBLE_EQ(reg.number_or("run.lookup.fast_failed", -1),
+                   static_cast<double>(r.lookups.fast_failed));
+  EXPECT_DOUBLE_EQ(reg.number_or("run.net.messages_sent", -1),
+                   static_cast<double>(r.network.messages_sent));
+  EXPECT_DOUBLE_EQ(reg.number_or("run.net.class.query.messages", -1),
+                   static_cast<double>(r.network.class_messages(
+                       proto::TrafficClass::kQuery)));
+  EXPECT_DOUBLE_EQ(reg.number_or("run.sim.events_executed", -1),
+                   static_cast<double>(r.sim_stats.events_executed));
+  EXPECT_GT(reg.number_or("run.sim.events_executed", -1), 0.0);
+  // Phase timings came along.
+  EXPECT_GE(reg.number_or("run.phase.build.sim_ms", -1), 0.0);
+  EXPECT_GE(reg.number_or("run.phase.lookup.wall_ms", -1), 0.0);
+}
+
+TEST(Reporter, JsonMatchesSchema) {
+  bench::Scale scale{};
+  scale.peers = 10;
+  scale.items = 20;
+  scale.lookups = 30;
+  scale.replicas = 1;
+  scale.seed = 7;
+  bench::Reporter reporter{"selftest", scale};
+  reporter.metrics().set("x.y", JsonValue{std::int64_t{5}});
+  Table table{{"col_a", "col_b"}};
+  table.row().cell(std::uint64_t{1}).cell(2.5, 1);
+  reporter.add_table("demo", table);
+
+  const JsonValue root = reporter.to_json();
+  ASSERT_TRUE(root.is_object());
+  EXPECT_EQ(root.find_path("schema_version")->as_int(),
+            bench::Reporter::kSchemaVersion);
+  EXPECT_EQ(root.find_path("bench")->as_string(), "selftest");
+  EXPECT_EQ(root.find_path("seed")->as_int(), 7);
+  EXPECT_EQ(root.find_path("config.peers")->as_int(), 10);
+  EXPECT_EQ(root.find_path("config.lookups")->as_int(), 30);
+  EXPECT_EQ(root.find_path("metrics.x.y")->as_int(), 5);
+
+  const JsonValue* tables = root.find_path("tables");
+  ASSERT_NE(tables, nullptr);
+  ASSERT_TRUE(tables->is_array());
+  ASSERT_EQ(tables->items().size(), 1u);
+  const JsonValue& t = tables->items()[0];
+  EXPECT_EQ(t.find_path("title")->as_string(), "demo");
+  ASSERT_EQ(t.find_path("columns")->items().size(), 2u);
+  EXPECT_EQ(t.find_path("columns")->items()[0].as_string(), "col_a");
+  ASSERT_EQ(t.find_path("rows")->items().size(), 1u);
+  EXPECT_EQ(t.find_path("rows")->items()[0].items().size(), 2u);
+}
+
+TEST(Reporter, WrittenFileParsesBack) {
+  bench::Reporter reporter{"unit_selftest"};
+  reporter.metrics().set("k", JsonValue{std::int64_t{1}});
+  const std::string path = "BENCH_unit_selftest.json";
+  ASSERT_TRUE(reporter.write(path));
+  std::ifstream in{path};
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const auto parsed = stats::JsonValue::parse(buf.str());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, reporter.to_json());
+  std::remove(path.c_str());
+}
+
+TEST(MetricNum, ReplacesDecimalPoint) {
+  EXPECT_EQ(bench::metric_num(0.4), "0p4");
+  EXPECT_EQ(bench::metric_num(1.25, 2), "1p25");
+  EXPECT_EQ(bench::metric_num(3.0), "3p0");
+}
+
+}  // namespace
+}  // namespace hp2p::stats

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <optional>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "net/transit_stub.hpp"
@@ -182,6 +183,38 @@ TEST_F(OverlayNetworkTest, ResurrectionAllowsDeliveryAgain) {
   net.send(a, b, TrafficClass::kQuery, kQueryBytes, [&] { delivered = true; });
   sim_.run();
   EXPECT_TRUE(delivered);
+}
+
+TEST_F(OverlayNetworkTest, TraceHookSeesSendDeliverAndDrops) {
+  auto net = make_network();
+  const PeerIndex a = net.add_peer(HostIndex{0});
+  const PeerIndex b = net.add_peer(HostIndex{10});
+  std::vector<NetTraceEvent> events;
+  net.set_trace([&](const NetTraceEvent& ev) { events.push_back(ev); });
+
+  net.send(a, b, TrafficClass::kQuery, kQueryBytes, [] {});
+  sim_.run();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, NetTraceEvent::Kind::kSend);
+  EXPECT_EQ(events[0].from, a);
+  EXPECT_EQ(events[0].to, b);
+  EXPECT_EQ(events[0].cls, TrafficClass::kQuery);
+  EXPECT_EQ(events[0].bytes, kQueryBytes);
+  EXPECT_EQ(events[1].kind, NetTraceEvent::Kind::kDeliver);
+
+  events.clear();
+  net.set_alive(b, false);
+  net.send(a, b, TrafficClass::kQuery, kQueryBytes, [] {});
+  sim_.run();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, NetTraceEvent::Kind::kSend);
+  EXPECT_EQ(events[1].kind, NetTraceEvent::Kind::kDropDeadReceiver);
+
+  events.clear();
+  net.send(b, a, TrafficClass::kControl, kControlBytes, [] {});
+  sim_.run();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, NetTraceEvent::Kind::kDropDeadSender);
 }
 
 }  // namespace

@@ -172,5 +172,60 @@ TEST(Simulator, ManyTimersStressOrdering) {
   EXPECT_EQ(times.size(), 1000u - (1000u + 2) / 3);
 }
 
+TEST(SimTime, ExpiredBoundaryIsInclusive) {
+  // The one expiry convention everywhere: expired iff deadline <= now.
+  const SimTime deadline = SimTime::millis(5);
+  EXPECT_FALSE(expired(deadline, SimTime::millis(4)));
+  EXPECT_TRUE(expired(deadline, deadline));
+  EXPECT_TRUE(expired(deadline, SimTime::millis(6)));
+}
+
+TEST(Simulator, TraceHookSeesScheduleFireCancel) {
+  Simulator s;
+  std::vector<TraceEvent> events;
+  s.set_trace([&](const TraceEvent& ev) { events.push_back(ev); });
+  s.schedule_at(SimTime::millis(1), [] {});
+  const TimerId gone = s.schedule_at(SimTime::millis(2), [] {});
+  ASSERT_TRUE(s.cancel(gone));
+  s.run();
+  ASSERT_EQ(events.size(), 4u);  // two schedules, one cancel, one fire
+  EXPECT_EQ(events[0].kind, TraceEvent::Kind::kSchedule);
+  EXPECT_EQ(events[1].kind, TraceEvent::Kind::kSchedule);
+  EXPECT_EQ(events[2].kind, TraceEvent::Kind::kCancel);
+  EXPECT_EQ(events[2].seq, events[1].seq);
+  EXPECT_EQ(events[2].when, SimTime::millis(2));
+  EXPECT_EQ(events[3].kind, TraceEvent::Kind::kFire);
+  EXPECT_EQ(events[3].seq, events[0].seq);
+  EXPECT_EQ(events[3].when, SimTime::millis(1));
+}
+
+TEST(Simulator, CorpseSkipAccountingIsConsistent) {
+  Simulator s;
+  std::vector<TimerId> ids;
+  for (int i = 0; i < 6; ++i) {
+    ids.push_back(s.schedule_at(SimTime::millis(i + 1), [] {}));
+  }
+  for (size_t i = 0; i < ids.size(); i += 2) s.cancel(ids[i]);
+  EXPECT_EQ(s.pending_events(), 3u);
+  s.run_until(SimTime::millis(10));
+  EXPECT_EQ(s.stats().events_scheduled, 6u);
+  EXPECT_EQ(s.stats().events_cancelled, 3u);
+  EXPECT_EQ(s.stats().events_executed, 3u);
+  EXPECT_EQ(s.stats().corpses_skipped, 3u);
+  EXPECT_EQ(s.now(), SimTime::millis(10));
+  EXPECT_TRUE(s.idle());
+}
+
+TEST(Simulator, StepSkipsCorpsesLikeRunUntil) {
+  Simulator s;
+  const TimerId a = s.schedule_at(SimTime::millis(1), [] {});
+  s.schedule_at(SimTime::millis(2), [] {});
+  s.cancel(a);
+  EXPECT_TRUE(s.step());  // fires the live event, discarding the corpse
+  EXPECT_EQ(s.now(), SimTime::millis(2));
+  EXPECT_EQ(s.stats().corpses_skipped, 1u);
+  EXPECT_FALSE(s.step());
+}
+
 }  // namespace
 }  // namespace hp2p::sim
