@@ -12,6 +12,7 @@
 #include "stats/json.hpp"
 #include "stats/metrics.hpp"
 #include "stats/table.hpp"
+#include "stats/timeseries.hpp"
 
 namespace hp2p::bench {
 
@@ -34,6 +35,12 @@ struct Scale {
   s.replicas = static_cast<std::size_t>(env_or("HP2P_REPLICAS", std::int64_t{1}));
   s.seed = static_cast<std::uint64_t>(env_or("HP2P_SEED", std::int64_t{42}));
   return s;
+}
+
+/// HP2P_TRACE=1 turns on causal tracing + gauge sampling in the benches
+/// that support it (the run additionally writes TRACE_<name>.json).
+[[nodiscard]] inline bool trace_from_env() {
+  return env_or("HP2P_TRACE", std::int64_t{0}) != 0;
 }
 
 [[nodiscard]] inline exp::RunConfig base_config(const Scale& s,
@@ -82,25 +89,30 @@ template <typename Fn>
 }
 
 /// Machine-readable run report, written next to the ASCII output as
-/// BENCH_<name>.json.  Schema (version 1):
+/// BENCH_<name>.json.  Schema (version 2; v1 fields are unchanged, v2 adds
+/// the always-present `timeseries` array):
 ///
 ///   {
-///     "schema_version": 1,
+///     "schema_version": 2,
 ///     "bench": "<name>",
 ///     "seed": <int>,
 ///     "config": { ... },              // nested; scale + bench-specific knobs
 ///     "metrics": { ... },             // nested MetricsRegistry export
 ///     "tables": [                     // the ASCII tables, verbatim cells
 ///       {"title": "...", "columns": ["..."], "rows": [["..."]]}
+///     ],
+///     "timeseries": [                 // sampled gauges (empty when not run)
+///       {"name": "...", "period_ms": ..., "t_ms": [...], "series": {...}}
 ///     ]
 ///   }
 ///
 /// Benches populate config()/metrics() through the registry API and mirror
 /// each printed stats::Table with add_table(); write() is the last line of
-/// main().
+/// main().  Files are written atomically (temp file + rename) so a crashed
+/// or concurrent run never leaves a truncated report behind.
 class Reporter {
  public:
-  static constexpr std::int64_t kSchemaVersion = 1;
+  static constexpr std::int64_t kSchemaVersion = 2;
 
   explicit Reporter(std::string name, std::uint64_t seed = 0)
       : name_(std::move(name)), seed_(seed) {}
@@ -140,6 +152,11 @@ class Reporter {
     tables_.push_back(std::move(t));
   }
 
+  /// Embeds one sampled-gauge block (RunResult::timeseries) in the report.
+  void add_timeseries(const stats::TimeSeries& ts) {
+    timeseries_.push_back(ts.to_json());
+  }
+
   [[nodiscard]] stats::JsonValue to_json() const {
     stats::JsonValue root = stats::JsonValue::object();
     root.set("schema_version", stats::JsonValue{kSchemaVersion});
@@ -150,21 +167,36 @@ class Reporter {
     stats::JsonValue tables = stats::JsonValue::array();
     for (const stats::JsonValue& t : tables_) tables.push_back(t);
     root.set("tables", std::move(tables));
+    stats::JsonValue timeseries = stats::JsonValue::array();
+    for (const stats::JsonValue& ts : timeseries_) timeseries.push_back(ts);
+    root.set("timeseries", std::move(timeseries));
     return root;
   }
 
-  /// Writes BENCH_<name>.json into the working directory (or `path`).
+  /// Writes BENCH_<name>.json into the working directory (or `path`),
+  /// atomically: the JSON lands in `path + ".tmp"` first and is renamed
+  /// over `path` only after a clean close.
   bool write() const { return write("BENCH_" + name_ + ".json"); }
   bool write(const std::string& path) const {
-    std::ofstream out{path};
-    if (!out) {
-      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
-      return false;
+    const std::string tmp = path + ".tmp";
+    {
+      std::ofstream out{tmp};
+      if (!out) {
+        std::fprintf(stderr, "warning: cannot write %s\n", tmp.c_str());
+        return false;
+      }
+      out << to_json().dump(2) << '\n';
+      out.close();
+      if (!out) {
+        std::fprintf(stderr, "warning: short write to %s\n", tmp.c_str());
+        std::remove(tmp.c_str());
+        return false;
+      }
     }
-    out << to_json().dump(2) << '\n';
-    out.close();
-    if (!out) {
-      std::fprintf(stderr, "warning: short write to %s\n", path.c_str());
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      std::fprintf(stderr, "warning: cannot rename %s to %s\n", tmp.c_str(),
+                   path.c_str());
+      std::remove(tmp.c_str());
       return false;
     }
     std::printf("report: %s\n", path.c_str());
@@ -177,6 +209,7 @@ class Reporter {
   stats::MetricsRegistry config_;
   stats::MetricsRegistry metrics_;
   std::vector<stats::JsonValue> tables_;
+  std::vector<stats::JsonValue> timeseries_;
 };
 
 }  // namespace hp2p::bench

@@ -101,5 +101,30 @@ int main() {
                 "finger-accelerated term\nis a lower bound; shapes (interior "
                 "minimum, rising tail) should agree.\n");
   }
+
+  // HP2P_TRACE=1: one fully traced replica at the paper's operating point.
+  // Produces TRACE_fig3_analysis.json (open in chrome://tracing or
+  // https://ui.perfetto.dev), the per-lookup critical-path percentiles
+  // under metrics.trace.*, and a sampled-gauge timeseries block.
+  if (bench::trace_from_env()) {
+    bench::print_header(
+        "Traced replica -- causal spans, critical path, gauge samples",
+        "observability pass; see EXPERIMENTS.md 'Tracing a lookup'", scale);
+    stats::SpanRecorder recorder;
+    auto cfg = bench::base_config(scale, 0);
+    cfg.hybrid.ps = 0.8;
+    cfg.tracer = &recorder;
+    cfg.sample_period = sim::SimTime::millis(250);
+    const auto result = exp::run_hybrid_experiment(cfg);
+    recorder.collect_critical_path(reporter.metrics(), "trace");
+    if (result.timeseries) reporter.add_timeseries(*result.timeseries);
+    const auto breakdowns = recorder.lookup_breakdowns();
+    std::printf("traced %zu lookups across %zu spans (%zu dropped)\n",
+                breakdowns.size(), recorder.spans().size(),
+                recorder.dropped_spans());
+    if (recorder.write_catapult("TRACE_fig3_analysis.json")) {
+      std::printf("trace: TRACE_fig3_analysis.json\n");
+    }
+  }
   return reporter.write() ? 0 : 1;
 }

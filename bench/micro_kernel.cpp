@@ -17,7 +17,9 @@
 #include "net/transit_stub.hpp"
 #include "net/underlay.hpp"
 #include "sim/simulator.hpp"
+#include "stats/flight_recorder.hpp"
 #include "stats/histogram.hpp"
+#include "stats/trace.hpp"
 
 namespace {
 
@@ -79,6 +81,57 @@ void BM_EventQueueTraced(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_EventQueueTraced)->Arg(10000);
+
+void BM_EventQueueFlightRecorder(benchmark::State& state) {
+  // Same workload again with the flight recorder on the trace hook: the
+  // always-on observability configuration of the soak tests.
+  const auto n = static_cast<std::int64_t>(state.range(0));
+  stats::FlightRecorder flight{512};
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim.set_trace([&flight, &sim](const sim::TraceEvent& ev) {
+      flight.record(sim.now(), "sim:event", static_cast<std::uint64_t>(ev.kind),
+                    ev.seq);
+    });
+    std::uint64_t sink = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      sim.schedule_at(sim::SimTime::micros((i * 7919) % 100000),
+                      [&sink] { ++sink; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  benchmark::DoNotOptimize(flight.total_recorded());
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueFlightRecorder)->Arg(10000);
+
+void BM_SpanRecorderBeginEnd(benchmark::State& state) {
+  // Cost of one fully recorded hop: child span open + instant + close.
+  constexpr std::size_t kCap = 1u << 16;
+  stats::SpanRecorder recorder{kCap};
+  auto root = recorder.start_trace("lookup", "lookup", 0, sim::SimTime{});
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    if (recorder.spans().size() + 2 > kCap) {
+      // Swap in a fresh recorder instead of measuring the at-capacity
+      // drop path.
+      state.PauseTiming();
+      recorder = stats::SpanRecorder{kCap};
+      root = recorder.start_trace("lookup", "lookup", 0, sim::SimTime{});
+      state.ResumeTiming();
+    }
+    const auto span = recorder.begin_span(root, "ring", "ring", 1,
+                                          sim::SimTime::micros(t));
+    recorder.instant(span, "ring_hop", 2, sim::SimTime::micros(t + 1), "hop",
+                     1);
+    recorder.end_span(span, sim::SimTime::micros(t + 2));
+    t += 3;
+  }
+  benchmark::DoNotOptimize(recorder.spans().size());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanRecorderBeginEnd);
 
 // --- Section 7 cache lookup: the seed's linear deque scan vs the indexed
 // map answer_source now uses.  Same record shape, same probe stream.

@@ -58,13 +58,18 @@ void ChordNetwork::route_to_owner(PeerIndex at, Route route,
   const PeerIndex next = next_hop(here, route.target);
   if (next == kNoPeer || next == at) {
     // Routing dead end (e.g. ring fragment during churn); the request is
-    // silently lost and the origin's timeout will fire.
+    // lost and the origin's timeout will fire.
+    net_.note_drop(at, proto::DropReason::kNoRoute, cls, route.trace);
     return;
   }
   ++route.hops;
   ++route.contacted;
-  net_.send(at, next, cls, bytes,
+  net_.send(at, next, cls, bytes, route.trace,
             [this, next, route, cls, bytes, at_owner] {
+              if (tracer_ != nullptr && route.trace.valid()) {
+                tracer_->instant(route.trace, "ring_hop", next.value(),
+                                 sim_.now(), "hop", route.hops);
+              }
               route_to_owner(next, route, cls, bytes, at_owner);
             });
 }
@@ -212,6 +217,15 @@ void ChordNetwork::store(PeerIndex from, const std::string& key,
   Route route;
   route.origin = from;
   route.target = id.value();
+  if (tracer_ != nullptr) {
+    route.trace = tracer_->start_trace("store", "store", from.value(),
+                                       sim_.now());
+    const stats::TraceContext st = route.trace;
+    done = [this, st, done = std::move(done)] {
+      if (tracer_ != nullptr) tracer_->end_span(st, sim_.now());
+      if (done) done();
+    };
+  }
   proto::DataItem item{id, key, value, from};
   route_to_owner(from, route, TrafficClass::kData, proto::kDataBytes,
                  [this, item = std::move(item), done = std::move(done)](
@@ -226,6 +240,12 @@ void ChordNetwork::lookup(PeerIndex from, const std::string& key,
   const DataId id = hash_key(key);
   const sim::SimTime started = sim_.now();
 
+  stats::TraceContext trace;
+  if (tracer_ != nullptr) {
+    trace = tracer_->start_trace("lookup", "lookup", from.value(), sim_.now());
+    tracer_->add_arg(trace, "target", static_cast<std::int64_t>(id.value()));
+  }
+
   // Shared completion state: first of {data reply, negative reply, timeout}
   // wins.
   struct Pending {
@@ -233,10 +253,14 @@ void ChordNetwork::lookup(PeerIndex from, const std::string& key,
     sim::TimerId timer{};
   };
   auto pending = std::make_shared<Pending>();
-  auto finish = [this, pending, done](proto::LookupResult r) {
+  auto finish = [this, pending, done, trace](proto::LookupResult r) {
     if (pending->finished) return;
     pending->finished = true;
     sim_.cancel(pending->timer);
+    if (tracer_ != nullptr && trace.valid()) {
+      tracer_->add_arg(trace, "success", r.success ? 1 : 0);
+      tracer_->end_span(trace, sim_.now());
+    }
     done(r);
   };
 
@@ -246,17 +270,27 @@ void ChordNetwork::lookup(PeerIndex from, const std::string& key,
   Route route;
   route.origin = from;
   route.target = id.value();
+  route.trace = trace;
   route_to_owner(
       from, route, TrafficClass::kQuery, proto::kQueryBytes,
       [this, id, from, started, finish](PeerIndex owner, const Route& r) {
         const proto::DataItem* item = node(owner).store.find(id);
         const bool hit = item != nullptr;
+        stats::TraceContext reply;
+        if (tracer_ != nullptr && r.trace.valid()) {
+          reply = tracer_->begin_span(r.trace, "reply", "reply",
+                                      owner.value(), sim_.now());
+        }
         // Reply travels directly back to the requester: data on hit,
         // a small negative ack on miss.
         net_.send(owner, from,
                   hit ? TrafficClass::kData : TrafficClass::kControl,
                   hit ? proto::kDataBytes : proto::kControlBytes,
-                  [this, owner, r, started, hit, finish] {
+                  reply.valid() ? reply : r.trace,
+                  [this, owner, r, started, hit, reply, finish] {
+                    if (tracer_ != nullptr && reply.valid()) {
+                      tracer_->end_span(reply, sim_.now());
+                    }
                     proto::LookupResult result;
                     result.success = hit;
                     result.latency = sim_.now() - started;

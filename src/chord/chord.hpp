@@ -112,6 +112,12 @@ class ChordNetwork {
   /// True when every key in the given node's store is owned by that node.
   [[nodiscard]] bool placement_consistent() const;
 
+  /// Installs (or, with nullptr, removes) the span recorder: lookups and
+  /// stores then record root spans with per-hop ring_hop instants.  Not
+  /// owned.
+  void set_tracer(stats::SpanRecorder* tracer) { tracer_ = tracer; }
+  [[nodiscard]] stats::SpanRecorder* tracer() const { return tracer_; }
+
  private:
   struct Node {
     PeerId id{};
@@ -135,6 +141,7 @@ class ChordNetwork {
     std::uint64_t target = 0;
     std::uint32_t hops = 0;
     std::uint32_t contacted = 0;
+    stats::TraceContext trace;  // causal header (invalid when untraced)
   };
   using OwnerAction = std::function<void(PeerIndex owner, const Route&)>;
 
@@ -164,6 +171,7 @@ class ChordNetwork {
   std::vector<Node> nodes_;
   bool maintenance_started_ = false;
   Rng* maintenance_rng_ = nullptr;
+  stats::SpanRecorder* tracer_ = nullptr;
 };
 
 }  // namespace hp2p::chord

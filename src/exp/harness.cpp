@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <iostream>
 #include <optional>
 #include <unordered_map>
 
@@ -72,6 +73,43 @@ RunResult run_hybrid_experiment(const RunConfig& raw_config) {
 
   RunResult result;
 
+  // ---- Observability wiring -------------------------------------------------
+  if (config.tracer != nullptr) {
+    network.set_span_recorder(config.tracer);
+    system.set_tracer(config.tracer);
+  }
+  if (config.flight != nullptr) {
+    attach_flight_recorder(*config.flight, sim, network);
+  }
+  std::optional<stats::TimeSeriesSampler> sampler;
+  if (config.sample_period > sim::Duration{}) {
+    sampler.emplace(sim, config.sample_period);
+    sampler->add_gauge("live_peers", [&system] {
+      return static_cast<double>(system.live_peers().size());
+    });
+    sampler->add_gauge("tpeers", [&system] {
+      return static_cast<double>(system.num_tpeers());
+    });
+    sampler->add_gauge("speers", [&system] {
+      return static_cast<double>(system.num_speers());
+    });
+    sampler->add_gauge("pending_lookups", [&system] {
+      return static_cast<double>(system.pending_lookups());
+    });
+    sampler->add_gauge("messages_sent", [&network] {
+      return static_cast<double>(network.stats().messages_sent);
+    });
+    sampler->add_gauge("messages_delivered", [&network] {
+      return static_cast<double>(network.stats().messages_delivered);
+    });
+    sampler->add_gauge("events_pending", [&sim] {
+      return static_cast<double>(sim.pending_events());
+    });
+  }
+  const auto arm_sampler = [&sampler] {
+    if (sampler) sampler->ensure_running();
+  };
+
   // Phase timing: host wall clock + simulated span since the last mark.
   auto wall_mark = std::chrono::steady_clock::now();
   sim::SimTime sim_mark = sim.now();
@@ -141,16 +179,19 @@ RunResult run_hybrid_experiment(const RunConfig& raw_config) {
     for (std::uint32_t i = 0; i < config.num_peers; ++i) {
       if (roles[i] == Role::kTPeer) schedule_join(i, slot++);
     }
+    arm_sampler();
     sim.run();
     slot = 0;
     for (std::uint32_t i = 0; i < config.num_peers; ++i) {
       if (roles[i] == Role::kSPeer) schedule_join(i, slot++);
     }
+    arm_sampler();
     sim.run();
   } else {
     for (std::uint32_t i = 0; i < config.num_peers; ++i) {
       schedule_join(i, static_cast<std::int64_t>(i));
     }
+    arm_sampler();
     sim.run();
   }
 
@@ -191,6 +232,7 @@ RunResult run_hybrid_experiment(const RunConfig& raw_config) {
           system.store_id(origin, id, corpus[i].key, corpus[i].value);
         });
   }
+  arm_sampler();
   sim.run();
   end_phase("populate");
 
@@ -209,6 +251,7 @@ RunResult run_hybrid_experiment(const RunConfig& raw_config) {
         system.crash(victims[i]);
       }
     }
+    arm_sampler();
     sim.run_until(sim.now() + config.recovery_time);
     end_phase("maintenance");
   }
@@ -239,13 +282,22 @@ RunResult run_hybrid_experiment(const RunConfig& raw_config) {
             const auto& mine = by_interest[system.interest_of(origin)];
             if (!mine.empty()) target = mine[op_rng.index(mine.size())];
           }
-          system.lookup_id(origin, target, [&result](proto::LookupResult r) {
-            result.lookups.record(r);
-            if (r.success) {
-              result.lookup_latency_ms.add(r.latency.as_millis());
-              result.lookup_hops.add(static_cast<double>(r.request_hops));
-            }
-          });
+          system.lookup_id(origin, target,
+                           [&result, &config](proto::LookupResult r) {
+                             result.lookups.record(r);
+                             if (r.success) {
+                               result.lookup_latency_ms.add(
+                                   r.latency.as_millis());
+                               result.lookup_hops.add(
+                                   static_cast<double>(r.request_hops));
+                             } else if (config.flight != nullptr &&
+                                        result.lookups.failed == 1) {
+                               // First failure of the run: dump the tail so
+                               // the final moments are inspectable.
+                               config.flight->dump(std::cerr,
+                                                   "first lookup failure");
+                             }
+                           });
         });
   }
   // Drain: with heartbeats running the queue never empties, so bound the
@@ -253,6 +305,7 @@ RunResult run_hybrid_experiment(const RunConfig& raw_config) {
   const auto phase_span = sim::SimTime::micros(
       static_cast<std::int64_t>(config.num_lookups) *
       config.op_spacing.as_micros());
+  arm_sampler();
   if (heartbeats) {
     sim.run_until(lookup_phase_start + phase_span +
                   config.hybrid.lookup_timeout + sim::SimTime::seconds(5));
@@ -302,7 +355,44 @@ RunResult run_hybrid_experiment(const RunConfig& raw_config) {
   if (network.link_stress() != nullptr) {
     result.max_link_stress = network.link_stress()->max_stress();
   }
+  if (sampler) {
+    sampler->sample_now();  // closing sample at the final sim time
+    result.timeseries = sampler->take();
+  }
   return result;
+}
+
+void attach_flight_recorder(stats::FlightRecorder& flight, sim::Simulator& sim,
+                            proto::OverlayNetwork& network) {
+  sim.set_trace([&flight, &sim](const sim::TraceEvent& e) {
+    const char* kind = "sim:schedule";
+    switch (e.kind) {
+      case sim::TraceEvent::Kind::kSchedule: kind = "sim:schedule"; break;
+      case sim::TraceEvent::Kind::kFire: kind = "sim:fire"; break;
+      case sim::TraceEvent::Kind::kCancel: kind = "sim:cancel"; break;
+    }
+    flight.record(sim.now(), kind, e.seq,
+                  static_cast<std::uint64_t>(e.when.as_micros()));
+  });
+  network.set_trace([&flight, &sim](const proto::NetTraceEvent& e) {
+    const char* kind = "net:send";
+    switch (e.kind) {
+      case proto::NetTraceEvent::Kind::kSend: kind = "net:send"; break;
+      case proto::NetTraceEvent::Kind::kDeliver: kind = "net:deliver"; break;
+      case proto::NetTraceEvent::Kind::kDropDeadSender:
+        kind = "net:drop_dead_sender";
+        break;
+      case proto::NetTraceEvent::Kind::kDropDeadReceiver:
+        kind = "net:drop_dead_receiver";
+        break;
+      case proto::NetTraceEvent::Kind::kLoss: kind = "net:loss"; break;
+      case proto::NetTraceEvent::Kind::kDropTtl: kind = "net:drop_ttl"; break;
+      case proto::NetTraceEvent::Kind::kDropNoRoute:
+        kind = "net:drop_no_route";
+        break;
+    }
+    flight.record(sim.now(), kind, e.from.value(), e.to.value(), e.bytes);
+  });
 }
 
 double mean_of(const std::vector<double>& xs) {

@@ -23,7 +23,10 @@
 #include "proto/overlay_network.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
+#include "stats/flight_recorder.hpp"
 #include "stats/summary.hpp"
+#include "stats/timeseries.hpp"
+#include "stats/trace.hpp"
 
 namespace hp2p::exp {
 
@@ -81,6 +84,23 @@ struct RunConfig {
   /// Build/operation pacing (simulated time).
   sim::Duration join_spacing = sim::SimTime::millis(25);
   sim::Duration op_spacing = sim::SimTime::millis(5);
+
+  // --- Observability (all optional, none owned) -----------------------------
+
+  /// Span recorder wired into the transport and the hybrid system; every
+  /// store/lookup then records a causal span tree (export with
+  /// write_catapult(), reduce with collect_critical_path()).
+  stats::SpanRecorder* tracer = nullptr;
+
+  /// When > 0, snapshot the harness gauges (live peers, t/s-network sizes,
+  /// pending lookups, message counters, event-queue depth) every
+  /// `sample_period` of simulated time into RunResult::timeseries.
+  sim::Duration sample_period{};
+
+  /// Flight recorder attached to the sim/net trace hooks (replacing any
+  /// callbacks installed there); the harness dumps its tail to stderr on
+  /// the first failed lookup of the run.
+  stats::FlightRecorder* flight = nullptr;
 };
 
 /// How long one harness phase took, in both host and simulated time.
@@ -122,6 +142,8 @@ struct RunResult {
   std::vector<PhaseTiming> phases;
   /// Event-kernel counters for the whole replica.
   sim::SimulatorStats sim_stats;
+  /// Gauge samples, present when RunConfig::sample_period > 0.
+  std::optional<stats::TimeSeries> timeseries;
 
   /// Table 2's metric: total peers contacted across all lookups.
   [[nodiscard]] std::uint64_t connum() const {
@@ -131,6 +153,13 @@ struct RunResult {
 
 /// Runs one full replica; deterministic in `config` (including seed).
 [[nodiscard]] RunResult run_hybrid_experiment(const RunConfig& config);
+
+/// Hooks `flight` onto the kernel and transport trace callbacks: every
+/// schedule/fire/cancel and every send/deliver/drop becomes one O(1) ring
+/// write.  Replaces any trace callbacks already installed on `sim` or
+/// `network`; both must outlive `flight`'s use.
+void attach_flight_recorder(stats::FlightRecorder& flight, sim::Simulator& sim,
+                            proto::OverlayNetwork& network);
 
 /// Maps `fn` over `configs` on a thread pool (replicas are independent).
 /// Results are constructed in place (no default-constructibility needed).

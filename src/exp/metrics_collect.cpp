@@ -43,6 +43,11 @@ void collect_network_stats(stats::MetricsRegistry& reg,
     reg.set(base + ".messages", s.per_class_messages[i]);
     reg.set(base + ".bytes", s.per_class_bytes[i]);
   }
+  for (std::size_t i = 0; i < proto::kNumDropReasons; ++i) {
+    const auto reason = static_cast<proto::DropReason>(i);
+    reg.set(joined(prefix, "drop") + "." + proto::drop_reason_name(reason),
+            s.drops_by_reason[i]);
+  }
 }
 
 void collect_lookup_stats(stats::MetricsRegistry& reg,

@@ -67,6 +67,12 @@ void GnutellaNetwork::lookup(PeerIndex from, const std::string& key,
   q.timer = sim_.schedule_after(params_.lookup_timeout, [this, qid] {
     finish(qid, proto::LookupResult{});
   });
+  if (tracer_ != nullptr) {
+    q.trace = tracer_->start_trace("lookup", "lookup", from.value(), sim_.now());
+    tracer_->add_arg(q.trace, "qid", static_cast<std::int64_t>(qid));
+    tracer_->add_arg(q.trace, "target",
+                     static_cast<std::int64_t>(q.target.value()));
+  }
   queries_.emplace(qid, std::move(q));
 
   // The origin checks its own database first (zero cost, not counted as a
@@ -100,8 +106,16 @@ bool GnutellaNetwork::try_answer(PeerIndex at, std::uint64_t qid,
   if (item == nullptr) return false;
   // Hit: data travels straight back to the requester.
   const PeerIndex origin = q.origin;
+  stats::TraceContext reply;
+  if (tracer_ != nullptr && q.trace.valid()) {
+    reply = tracer_->begin_span(q.trace, "reply", "reply", at.value(),
+                                sim_.now());
+  }
   net_.send(at, origin, TrafficClass::kData, proto::kDataBytes,
-            [this, qid, at, hops] {
+            reply.valid() ? reply : q.trace, [this, qid, at, hops, reply] {
+              if (tracer_ != nullptr && reply.valid()) {
+                tracer_->end_span(reply, sim_.now());
+              }
               auto qit = queries_.find(qid);
               if (qit == queries_.end() || qit->second.finished) return;
               proto::LookupResult r;
@@ -118,10 +132,15 @@ bool GnutellaNetwork::try_answer(PeerIndex at, std::uint64_t qid,
 void GnutellaNetwork::flood_step(PeerIndex at, PeerIndex from_neighbor,
                                  std::uint64_t qid, unsigned ttl,
                                  std::uint32_t hops) {
-  if (ttl == 0) return;
+  if (ttl == 0) {
+    net_.note_drop(at, proto::DropReason::kTtlExhausted, TrafficClass::kQuery,
+                   query_trace(qid));
+    return;
+  }
+  const stats::TraceContext ctx = query_trace(qid);
   for (PeerIndex n : peer(at).neighbors) {
     if (n == from_neighbor) continue;
-    net_.send(at, n, TrafficClass::kQuery, proto::kQueryBytes,
+    net_.send(at, n, TrafficClass::kQuery, proto::kQueryBytes, ctx,
               [this, n, at, qid, ttl, hops] {
                 auto it = queries_.find(qid);
                 if (it == queries_.end() || it->second.finished) return;
@@ -129,6 +148,11 @@ void GnutellaNetwork::flood_step(PeerIndex at, PeerIndex from_neighbor,
                 // Duplicate suppression: a peer processes each query once.
                 if (!receiver.seen_queries.insert(qid).second) return;
                 ++it->second.contacted;
+                if (tracer_ != nullptr) {
+                  tracer_->instant(it->second.trace, "flood_hop", n.value(),
+                                   sim_.now(), "depth",
+                                   static_cast<std::int64_t>(hops + 1));
+                }
                 if (try_answer(n, qid, hops + 1)) return;
                 flood_step(n, at, qid, ttl - 1, hops + 1);
               });
@@ -137,18 +161,31 @@ void GnutellaNetwork::flood_step(PeerIndex at, PeerIndex from_neighbor,
 
 void GnutellaNetwork::walk_step(PeerIndex at, std::uint64_t qid, unsigned ttl,
                                 std::uint32_t hops, Rng& rng) {
-  if (ttl == 0) return;
+  if (ttl == 0) {
+    net_.note_drop(at, proto::DropReason::kTtlExhausted, TrafficClass::kQuery,
+                   query_trace(qid));
+    return;
+  }
   const auto& nbrs = peer(at).neighbors;
-  if (nbrs.empty()) return;
+  if (nbrs.empty()) {
+    net_.note_drop(at, proto::DropReason::kNoRoute, TrafficClass::kQuery,
+                   query_trace(qid));
+    return;
+  }
   const PeerIndex next = nbrs[rng.index(nbrs.size())];
   net_.send(at, next, TrafficClass::kQuery, proto::kQueryBytes,
-            [this, next, qid, ttl, hops] {
+            query_trace(qid), [this, next, qid, ttl, hops] {
               auto it = queries_.find(qid);
               if (it == queries_.end() || it->second.finished) return;
               // Walkers may revisit peers; only first visits count as
               // contacts.
               if (peer(next).seen_queries.insert(qid).second) {
                 ++it->second.contacted;
+              }
+              if (tracer_ != nullptr) {
+                tracer_->instant(it->second.trace, "walk_hop", next.value(),
+                                 sim_.now(), "depth",
+                                 static_cast<std::int64_t>(hops + 1));
               }
               if (try_answer(next, qid, hops + 1)) return;
               walk_step(next, qid, ttl - 1, hops + 1, walk_rng_);
@@ -162,6 +199,12 @@ void GnutellaNetwork::finish(std::uint64_t qid, proto::LookupResult result) {
   q.finished = true;
   sim_.cancel(q.timer);
   if (!result.success) result.peers_contacted = q.contacted;
+  if (tracer_ != nullptr && q.trace.valid()) {
+    tracer_->add_arg(q.trace, "success", result.success ? 1 : 0);
+    tracer_->add_arg(q.trace, "contacted",
+                     static_cast<std::int64_t>(result.peers_contacted));
+    tracer_->end_span(q.trace, sim_.now());
+  }
   auto done = std::move(q.done);
   queries_.erase(it);
   if (done) done(result);

@@ -18,6 +18,7 @@
 #include "proto/metrics.hpp"
 #include "proto/overlay_network.hpp"
 #include "sim/simulator.hpp"
+#include "stats/trace.hpp"
 
 namespace hp2p::gnutella {
 
@@ -74,6 +75,12 @@ class GnutellaNetwork {
   /// Overlay-hop eccentricity bound: longest BFS distance from `from`.
   [[nodiscard]] unsigned bfs_radius(PeerIndex from) const;
 
+  /// Installs (or, with nullptr, removes) the span recorder: lookups then
+  /// record a root span with per-fan-out flood_hop/walk_hop instants (TTL
+  /// depth annotated).  Not owned.
+  void set_tracer(stats::SpanRecorder* tracer) { tracer_ = tracer; }
+  [[nodiscard]] stats::SpanRecorder* tracer() const { return tracer_; }
+
  private:
   struct Peer {
     PeerIndex self = kNoPeer;
@@ -92,9 +99,16 @@ class GnutellaNetwork {
     bool finished = false;
     sim::TimerId timer{};
     LookupCallback done;
+    stats::TraceContext trace;  // root span (invalid when untraced)
   };
 
   Peer& peer(PeerIndex i) { return peers_[i.value()]; }
+  /// The query's root trace context; invalid when untraced or finished.
+  [[nodiscard]] stats::TraceContext query_trace(std::uint64_t qid) const {
+    if (tracer_ == nullptr) return {};
+    const auto it = queries_.find(qid);
+    return it == queries_.end() ? stats::TraceContext{} : it->second.trace;
+  }
 
   void flood_step(PeerIndex at, PeerIndex from_neighbor, std::uint64_t qid,
                   unsigned ttl, std::uint32_t hops);
@@ -111,6 +125,7 @@ class GnutellaNetwork {
   std::unordered_map<std::uint64_t, Query> queries_;
   std::uint64_t next_query_id_ = 1;
   Rng walk_rng_{0xabcdef};
+  stats::SpanRecorder* tracer_ = nullptr;
 };
 
 }  // namespace hp2p::gnutella

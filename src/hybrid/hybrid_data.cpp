@@ -32,6 +32,18 @@ void HybridSystem::store_id(PeerIndex from, DataId id, const std::string& key,
   Peer& p = peer(from);
   proto::DataItem item{id, key, value, from};
 
+  // When traced, the whole store becomes one span tree: the root closes
+  // when the placement completes (done fires) or the upward path dies.
+  stats::TraceContext st;
+  if (tracer_ != nullptr) {
+    st = tracer_->start_trace("store", "store", from.value(), sim_.now());
+    tracer_->add_arg(st, "target", static_cast<std::int64_t>(id.value()));
+    done = [this, st, done = std::move(done)] {
+      if (tracer_ != nullptr) tracer_->end_span(st, sim_.now());
+      if (done) done();
+    };
+  }
+
   if (in_local_segment(p, id)) {
     // "If the d_id lies in the range of the current s-network, the data item
     // is inserted to its database" -- the generating peer keeps it.
@@ -54,7 +66,7 @@ void HybridSystem::store_id(PeerIndex from, DataId id, const std::string& key,
   if (params_.bypass_links) {
     if (const BypassLink* bp = find_bypass(p, id); bp != nullptr) {
       const PeerIndex to = bp->to;
-      net_.send(from, to, TrafficClass::kData, proto::kDataBytes,
+      net_.send(from, to, TrafficClass::kData, proto::kDataBytes, st,
                 [this, to, id, item = std::move(item),
                  done = std::move(done)]() mutable {
                   peer(to).store.insert(std::move(item));
@@ -73,7 +85,7 @@ void HybridSystem::store_id(PeerIndex from, DataId id, const std::string& key,
   const PeerIndex origin = from;
   forward_up_to_tpeer(
       from, proto::kDataBytes, TrafficClass::kData,
-      [this, item = std::move(item), origin, done = std::move(done)](
+      [this, item = std::move(item), origin, st, done = std::move(done)](
           PeerIndex root, std::uint32_t hops) mutable {
         route_ring(root, item.id.value(), hops, 0, TrafficClass::kData,
                    proto::kDataBytes,
@@ -82,15 +94,26 @@ void HybridSystem::store_id(PeerIndex from, DataId id, const std::string& key,
                                             std::uint32_t) mutable {
                      place_item(owner, std::move(item), std::move(done));
                      (void)origin;
-                   });
+                   },
+                   {}, st);
       },
-      0);
+      0,
+      [this, st] {
+        // Upward path gone: the store can never be placed.  Close the root
+        // so the trace doesn't dangle open.
+        if (tracer_ != nullptr && st.valid()) {
+          tracer_->add_arg(st, "no_route", 1);
+          tracer_->end_span(st, sim_.now());
+        }
+      },
+      st);
 }
 
 void HybridSystem::forward_up_to_tpeer(
     PeerIndex at, std::uint32_t bytes, proto::TrafficClass cls,
     std::function<void(PeerIndex, std::uint32_t)> at_root,
-    std::uint32_t hops, std::function<void()> on_dead) {
+    std::uint32_t hops, std::function<void()> on_dead,
+    stats::TraceContext ctx) {
   Peer& p = peer(at);
   if (p.role == Role::kTPeer) {
     at_root(at, hops);
@@ -100,14 +123,19 @@ void HybridSystem::forward_up_to_tpeer(
   if (next == kNoPeer) {
     // Detached orphan: there is no upward path, so the request can never
     // reach the t-network.  Tell the caller now instead of going silent.
+    net_.note_drop(at, proto::DropReason::kNoRoute, cls, ctx);
     if (on_dead) on_dead();
     return;
   }
-  net_.send(at, next, cls, bytes,
-            [this, next, bytes, cls, at_root = std::move(at_root), hops,
+  net_.send(at, next, cls, bytes, ctx,
+            [this, next, bytes, cls, at_root = std::move(at_root), hops, ctx,
              on_dead = std::move(on_dead)] {
+              if (tracer_ != nullptr && ctx.valid()) {
+                tracer_->instant(ctx, "climb_hop", next.value(), sim_.now(),
+                                 "hop", hops + 1);
+              }
               forward_up_to_tpeer(next, bytes, cls, at_root, hops + 1,
-                                  on_dead);
+                                  on_dead, ctx);
             });
 }
 
@@ -115,9 +143,14 @@ void HybridSystem::route_ring(
     PeerIndex at, std::uint64_t target, std::uint32_t hops,
     std::uint32_t contacted, proto::TrafficClass cls, std::uint32_t bytes,
     std::function<void(PeerIndex, std::uint32_t, std::uint32_t)> at_owner,
-    std::function<bool(PeerIndex, std::uint32_t)> intercept) {
+    std::function<bool(PeerIndex, std::uint32_t)> intercept,
+    stats::TraceContext ctx) {
   Peer& here = peer(at);
-  if (!here.joined || here.role != Role::kTPeer) return;  // mid-churn loss
+  if (!here.joined || here.role != Role::kTPeer) {
+    // Mid-churn loss: the request reached a peer that left the ring.
+    net_.note_drop(at, proto::DropReason::kNoRoute, cls, ctx);
+    return;
+  }
   if (ring::in_arc_open_closed(target, here.predecessor_id.value(),
                                here.pid.value()) ||
       here.successor == at) {
@@ -130,12 +163,16 @@ void HybridSystem::route_ring(
     const chord::Finger f = here.fingers.closest_preceding(target);
     if (f.node != kNoPeer && f.node != at) next = f.node;
   }
-  net_.send(at, next, cls, bytes,
-            [this, next, target, hops, contacted, cls, bytes,
+  net_.send(at, next, cls, bytes, ctx,
+            [this, next, target, hops, contacted, cls, bytes, ctx,
              at_owner = std::move(at_owner),
              intercept = std::move(intercept)] {
+              if (tracer_ != nullptr && ctx.valid()) {
+                tracer_->instant(ctx, "ring_hop", next.value(), sim_.now(),
+                                 "hop", hops + 1);
+              }
               route_ring(next, target, hops + 1, contacted + 1, cls, bytes,
-                         at_owner, intercept);
+                         at_owner, intercept, ctx);
             });
 }
 
@@ -274,6 +311,14 @@ void HybridSystem::lookup_id(PeerIndex from, DataId id, LookupCallback done) {
   queries_.emplace(qid, std::move(q));
   Query& query = queries_[qid];
   query.visited.insert(from.value());
+  if (tracer_ != nullptr) {
+    query.trace = tracer_->start_trace("lookup", "lookup", from.value(),
+                                       sim_.now());
+    tracer_->add_arg(query.trace, "qid",
+                     static_cast<std::int64_t>(qid));
+    tracer_->add_arg(query.trace, "target",
+                     static_cast<std::int64_t>(id.value()));
+  }
 
   Peer& p = peer(from);
   // The requester's own database (and cache, when the Section 7 scheme is
@@ -292,15 +337,17 @@ void HybridSystem::lookup_id(PeerIndex from, DataId id, LookupCallback done) {
   if (in_local_segment(p, id)) {
     if (params_.style == SNetworkStyle::kBitTorrent) {
       // Ask the tracker directly.
+      trace_stage(qid, "climb", "climb", from);
       forward_up_to_tpeer(
           from, proto::kQueryBytes, TrafficClass::kQuery,
           [this, qid, from](PeerIndex root, std::uint32_t hops) {
             bt_lookup(from, qid, root, hops);
           },
-          0, [this, qid] { fail_query_fast(qid); });
+          0, [this, qid] { fail_query_fast(qid); }, query_trace(qid));
       return;
     }
     // Local search with the configured TTL.
+    trace_stage(qid, "flood", "flood", from);
     search_snetwork(from, kNoPeer, qid, params_.ttl, 0);
     if (params_.reflood_on_timeout) {
       sim_.schedule_after(
@@ -322,8 +369,9 @@ void HybridSystem::lookup_id(PeerIndex from, DataId id, LookupCallback done) {
   if (params_.bypass_links) {
     if (const BypassLink* bp = find_bypass(p, id); bp != nullptr) {
       const PeerIndex to = bp->to;
+      trace_stage(qid, "bypass", "ring", from);
       net_.send(from, to, TrafficClass::kQuery, proto::kQueryBytes,
-                [this, to, qid] {
+                query_trace(qid), [this, to, qid] {
                   auto it = queries_.find(qid);
                   if (it == queries_.end() || it->second.finished) return;
                   if (it->second.visited.insert(to.value()).second) {
@@ -331,6 +379,7 @@ void HybridSystem::lookup_id(PeerIndex from, DataId id, LookupCallback done) {
                   }
                   if (try_answer(to, qid, 1)) return;
                   // Not at the bypass peer itself: search its s-network.
+                  trace_stage(qid, "flood", "flood", to);
                   search_snetwork(to, kNoPeer, qid, params_.ttl, 1);
                 });
       return;
@@ -341,6 +390,7 @@ void HybridSystem::lookup_id(PeerIndex from, DataId id, LookupCallback done) {
 
 void HybridSystem::start_remote_lookup(PeerIndex origin, std::uint64_t qid,
                                        DataId id) {
+  trace_stage(qid, "climb", "climb", origin);
   forward_up_to_tpeer(
       origin, proto::kQueryBytes, TrafficClass::kQuery,
       [this, qid, id](PeerIndex root, std::uint32_t hops) {
@@ -358,6 +408,7 @@ void HybridSystem::start_remote_lookup(PeerIndex origin, std::uint64_t qid,
             return try_answer(at, qid, at_hops);
           };
         }
+        trace_stage(qid, "ring", "ring", root);
         route_ring(root, id.value(), hops, 0, TrafficClass::kQuery,
                    proto::kQueryBytes,
                    [this, qid](PeerIndex owner, std::uint32_t owner_hops,
@@ -373,12 +424,13 @@ void HybridSystem::start_remote_lookup(PeerIndex origin, std::uint64_t qid,
                        return;
                      }
                      if (try_answer(owner, qid, owner_hops)) return;
+                     trace_stage(qid, "flood", "flood", owner);
                      search_snetwork(owner, kNoPeer, qid, params_.ttl,
                                      owner_hops);
                    },
-                   std::move(intercept));
+                   std::move(intercept), query_trace(qid));
       },
-      0, [this, qid] { fail_query_fast(qid); });
+      0, [this, qid] { fail_query_fast(qid); }, query_trace(qid));
 }
 
 void HybridSystem::bt_lookup(PeerIndex /*origin*/, std::uint64_t qid,
@@ -426,17 +478,25 @@ void HybridSystem::search_snetwork(PeerIndex at, PeerIndex from,
 
 void HybridSystem::walk(PeerIndex at, std::uint64_t qid, unsigned ttl,
                         std::uint32_t hops) {
-  if (ttl == 0) return;
+  if (ttl == 0) {
+    net_.note_drop(at, proto::DropReason::kTtlExhausted, TrafficClass::kQuery,
+                   query_trace(qid));
+    return;
+  }
   const auto targets = snetwork_neighbors(peer(at));
   if (targets.empty()) return;
   const PeerIndex next = targets[rng_.index(targets.size())];
   net_.send(at, next, TrafficClass::kQuery, proto::kQueryBytes,
-            [this, next, qid, ttl, hops] {
+            query_trace(qid), [this, next, qid, ttl, hops] {
               auto it = queries_.find(qid);
               if (it == queries_.end() || it->second.finished) return;
               // Walkers revisit peers; only first visits count as contacts.
               if (it->second.visited.insert(next.value()).second) {
                 ++it->second.contacted;
+              }
+              if (tracer_ != nullptr) {
+                tracer_->instant(query_trace(qid), "walk_hop", next.value(),
+                                 sim_.now(), "depth", hops + 1);
               }
               if (try_answer(next, qid, hops + 1)) return;
               walk(next, qid, ttl - 1, hops + 1);
@@ -445,11 +505,16 @@ void HybridSystem::walk(PeerIndex at, std::uint64_t qid, unsigned ttl,
 
 void HybridSystem::flood(PeerIndex at, PeerIndex from, std::uint64_t qid,
                          unsigned ttl, std::uint32_t hops) {
-  if (ttl == 0) return;
+  if (ttl == 0) {
+    net_.note_drop(at, proto::DropReason::kTtlExhausted, TrafficClass::kQuery,
+                   query_trace(qid));
+    return;
+  }
   Peer& p = peer(at);
+  const stats::TraceContext ctx = query_trace(qid);
   for (PeerIndex n : snetwork_neighbors(p)) {
     if (n == from) continue;
-    net_.send(at, n, TrafficClass::kQuery, proto::kQueryBytes,
+    net_.send(at, n, TrafficClass::kQuery, proto::kQueryBytes, ctx,
               [this, n, at, qid, ttl, hops] {
                 auto it = queries_.find(qid);
                 if (it == queries_.end() || it->second.finished) return;
@@ -457,6 +522,10 @@ void HybridSystem::flood(PeerIndex at, PeerIndex from, std::uint64_t qid,
                 if (!it->second.visited.insert(n.value()).second) return;
                 ++it->second.contacted;
                 maybe_ack(n, at);
+                if (tracer_ != nullptr) {
+                  tracer_->instant(query_trace(qid), "flood_hop", n.value(),
+                                   sim_.now(), "depth", hops + 1);
+                }
                 if (try_answer(n, qid, hops + 1)) return;
                 flood(n, at, qid, ttl - 1, hops + 1);
               });
@@ -512,8 +581,15 @@ bool HybridSystem::try_answer(PeerIndex at, std::uint64_t qid,
   ++peer(at).answers_served;
   if (from_cache) ++cache_hits_;
   const PeerIndex origin = q.origin;
+  if (tracer_ != nullptr && q.trace.valid()) {
+    // The answer travelling home is its own stage: whatever stage found the
+    // item (flood/ring) closes and "reply" runs until delivery.
+    if (q.stage.valid()) tracer_->end_span(q.stage, sim_.now());
+    q.stage = tracer_->begin_span(q.trace, "reply", "reply", at.value(),
+                                  sim_.now());
+  }
   net_.send(at, origin, TrafficClass::kData, proto::kDataBytes,
-            [this, qid, at, hops, found = *item] {
+            query_trace(qid), [this, qid, at, hops, found = *item] {
               auto qit = queries_.find(qid);
               if (qit == queries_.end() || qit->second.finished) return;
               proto::LookupResult r;
@@ -669,6 +745,24 @@ void HybridSystem::fail_query_fast(std::uint64_t qid) {
   finish_query(qid, r);
 }
 
+void HybridSystem::trace_stage(std::uint64_t qid, const char* name,
+                               const char* category, PeerIndex at) {
+  if (tracer_ == nullptr) return;
+  auto it = queries_.find(qid);
+  if (it == queries_.end() || !it->second.trace.valid()) return;
+  Query& q = it->second;
+  if (q.stage.valid()) tracer_->end_span(q.stage, sim_.now());
+  q.stage = tracer_->begin_span(q.trace, name, category, at.value(),
+                                sim_.now());
+}
+
+stats::TraceContext HybridSystem::query_trace(std::uint64_t qid) const {
+  if (tracer_ == nullptr) return {};
+  const auto it = queries_.find(qid);
+  if (it == queries_.end()) return {};
+  return it->second.stage.valid() ? it->second.stage : it->second.trace;
+}
+
 void HybridSystem::finish_query(std::uint64_t qid,
                                 proto::LookupResult result) {
   auto it = queries_.find(qid);
@@ -677,6 +771,13 @@ void HybridSystem::finish_query(std::uint64_t qid,
   q.finished = true;
   sim_.cancel(q.timer);
   if (!result.success) result.peers_contacted = q.contacted;
+  if (tracer_ != nullptr && q.trace.valid()) {
+    if (q.stage.valid()) tracer_->end_span(q.stage, sim_.now());
+    tracer_->add_arg(q.trace, "success", result.success ? 1 : 0);
+    if (result.fast_fail) tracer_->add_arg(q.trace, "fast_fail", 1);
+    tracer_->add_arg(q.trace, "contacted", result.peers_contacted);
+    tracer_->end_span(q.trace, sim_.now());
+  }
   auto done = std::move(q.done);
   queries_.erase(it);
   if (done) done(result);

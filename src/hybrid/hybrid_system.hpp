@@ -31,6 +31,7 @@
 #include "proto/metrics.hpp"
 #include "proto/overlay_network.hpp"
 #include "sim/simulator.hpp"
+#include "stats/trace.hpp"
 
 namespace hp2p::hybrid {
 
@@ -196,6 +197,16 @@ class HybridSystem {
 
   [[nodiscard]] const HybridParams& params() const { return params_; }
 
+  /// Installs (or, with nullptr, removes) the span recorder.  Every store
+  /// and lookup then records a span tree: a root span, one child per
+  /// protocol stage (cp-chain climb, ring routing, s-network flood, reply),
+  /// and instant events per hop.  Not owned.
+  void set_tracer(stats::SpanRecorder* tracer) { tracer_ = tracer; }
+  [[nodiscard]] stats::SpanRecorder* tracer() const { return tracer_; }
+
+  /// Lookups currently in flight (issued, neither answered nor timed out).
+  [[nodiscard]] std::size_t pending_lookups() const { return queries_.size(); }
+
  private:
   // --- Internal state ---------------------------------------------------------
 
@@ -271,6 +282,8 @@ class HybridSystem {
     sim::TimerId timer{};
     LookupCallback done;
     std::unordered_set<std::uint32_t> visited;  // flood dedup + contacted
+    stats::TraceContext trace;  // root span of the lookup (when traced)
+    stats::TraceContext stage;  // currently open stage span (climb/ring/...)
   };
 
   Peer& peer(PeerIndex i) { return peers_[i.value()]; }
@@ -347,7 +360,8 @@ class HybridSystem {
                            proto::TrafficClass cls,
                            std::function<void(PeerIndex, std::uint32_t)> at_root,
                            std::uint32_t hops,
-                           std::function<void()> on_dead = {});
+                           std::function<void()> on_dead = {},
+                           stats::TraceContext ctx = {});
   /// Forwards around the t-network until the owner of `target` is reached.
   /// When `intercept` is set it runs at every intermediate t-peer; returning
   /// true consumes the request there (cache hits at surrogate peers,
@@ -357,7 +371,8 @@ class HybridSystem {
                   std::uint32_t bytes,
                   std::function<void(PeerIndex, std::uint32_t, std::uint32_t)>
                       at_owner,
-                  std::function<bool(PeerIndex, std::uint32_t)> intercept = {});
+                  std::function<bool(PeerIndex, std::uint32_t)> intercept = {},
+                  stats::TraceContext ctx = {});
   void place_item(PeerIndex at, proto::DataItem item, StoreCallback done);
   void spread_item(PeerIndex at, proto::DataItem item, StoreCallback done);
 
@@ -374,6 +389,14 @@ class HybridSystem {
   [[nodiscard]] const proto::DataItem* answer_source(Peer& p, DataId id,
                                                      bool& from_cache);
   void cache_put(PeerIndex at, const proto::DataItem& item);
+  /// Ends the query's current stage span (if any) and opens a new one named
+  /// `name` under its root.  No-op when untraced.
+  void trace_stage(std::uint64_t qid, const char* name, const char* category,
+                   PeerIndex at);
+  /// Context new work on this query should record under: the open stage
+  /// span when one exists, else the root.  Invalid when untraced.
+  [[nodiscard]] stats::TraceContext query_trace(std::uint64_t qid) const;
+
   void finish_query(std::uint64_t qid, proto::LookupResult result);
   /// Immediate failure (no timeout wait); sets LookupResult::fast_fail.
   void fail_query_fast(std::uint64_t qid);
@@ -419,6 +442,7 @@ class HybridSystem {
   std::uint64_t bypass_installs_ = 0;
   std::uint64_t bypass_uses_ = 0;
   std::uint64_t cache_hits_ = 0;
+  stats::SpanRecorder* tracer_ = nullptr;
 
   /// In-flight keyword searches.
   struct KeywordQuery {

@@ -4,6 +4,18 @@
 
 namespace hp2p::proto {
 
+const char* drop_reason_name(DropReason reason) {
+  switch (reason) {
+    case DropReason::kDeadSender: return "dead_sender";
+    case DropReason::kDeadReceiver: return "dead_receiver";
+    case DropReason::kLoss: return "loss";
+    case DropReason::kTtlExhausted: return "ttl_exhausted";
+    case DropReason::kNoRoute: return "no_route";
+    case DropReason::kCount_: break;
+  }
+  return "unknown";
+}
+
 OverlayNetwork::OverlayNetwork(sim::Simulator& simulator,
                                const net::Underlay& underlay,
                                OverlayNetworkOptions options)
@@ -34,16 +46,26 @@ sim::SimTime OverlayNetwork::hop_latency(PeerIndex from, PeerIndex to,
 }
 
 void OverlayNetwork::send(PeerIndex from, PeerIndex to, TrafficClass cls,
-                          std::uint32_t bytes, Delivery deliver) {
+                          std::uint32_t bytes, stats::TraceContext ctx,
+                          Delivery deliver) {
   using Kind = NetTraceEvent::Kind;
   if (!alive(from)) {
     ++stats_.messages_dropped;
+    ++stats_.drops_by_reason[static_cast<std::size_t>(DropReason::kDeadSender)];
     if (trace_) trace_({Kind::kDropDeadSender, from, to, cls, bytes});
+    if (spans_ != nullptr && ctx.valid()) {
+      spans_->instant(ctx, "drop:dead_sender", from.value(), simulator_.now());
+    }
     return;
   }
   if (options_.loss_rate > 0.0 && loss_rng_.chance(options_.loss_rate)) {
     ++stats_.messages_lost;  // lost in transit; sender pays nothing extra
+    ++stats_.drops_by_reason[static_cast<std::size_t>(DropReason::kLoss)];
     if (trace_) trace_({Kind::kLoss, from, to, cls, bytes});
+    if (spans_ != nullptr && ctx.valid()) {
+      spans_->instant(ctx, "drop:loss", from.value(), simulator_.now(), "to",
+                      to.value());
+    }
     return;
   }
   ++stats_.messages_sent;
@@ -58,19 +80,54 @@ void OverlayNetwork::send(PeerIndex from, PeerIndex to, TrafficClass cls,
                                  [&](net::EdgeIndex e) { link_stress_->bump(e); });
   }
 
+  stats::TraceContext msg_span;
+  if (spans_ != nullptr && ctx.valid()) {
+    msg_span = spans_->begin_span(ctx, "msg", "net", from.value(),
+                                  simulator_.now());
+    spans_->add_arg(msg_span, "to", to.value());
+    spans_->add_arg(msg_span, "bytes", bytes);
+  }
+
   const sim::SimTime delay = hop_latency(from, to, bytes);
   simulator_.schedule_after(
-      delay, [this, from, to, cls, bytes, deliver = std::move(deliver)]() {
+      delay, [this, from, to, cls, bytes, msg_span,
+              deliver = std::move(deliver)]() {
         if (!alive(to)) {
           ++stats_.messages_dropped;
+          ++stats_.drops_by_reason[static_cast<std::size_t>(
+              DropReason::kDeadReceiver)];
           if (trace_) trace_({Kind::kDropDeadReceiver, from, to, cls, bytes});
+          if (spans_ != nullptr && msg_span.valid()) {
+            spans_->add_arg(msg_span, "dropped_dead_receiver", 1);
+            spans_->end_span(msg_span, simulator_.now());
+          }
           return;
         }
         ++stats_.messages_delivered;
         ++received_by_[to.value()];
         if (trace_) trace_({Kind::kDeliver, from, to, cls, bytes});
+        if (spans_ != nullptr && msg_span.valid()) {
+          spans_->end_span(msg_span, simulator_.now());
+        }
         deliver();
       });
+}
+
+void OverlayNetwork::note_drop(PeerIndex at, DropReason reason,
+                               TrafficClass cls, stats::TraceContext ctx) {
+  ++stats_.drops_by_reason[static_cast<std::size_t>(reason)];
+  if (trace_) {
+    const auto kind = reason == DropReason::kTtlExhausted
+                          ? NetTraceEvent::Kind::kDropTtl
+                          : NetTraceEvent::Kind::kDropNoRoute;
+    trace_({kind, at, at, cls, 0});
+  }
+  if (spans_ != nullptr && ctx.valid()) {
+    spans_->instant(ctx,
+                    reason == DropReason::kTtlExhausted ? "drop:ttl_exhausted"
+                                                        : "drop:no_route",
+                    at.value(), simulator_.now());
+  }
 }
 
 }  // namespace hp2p::proto

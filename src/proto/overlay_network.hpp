@@ -19,6 +19,7 @@
 #include "common/rng.hpp"
 #include "net/underlay.hpp"
 #include "sim/simulator.hpp"
+#include "stats/trace.hpp"
 
 namespace hp2p::proto {
 
@@ -41,6 +42,25 @@ inline constexpr std::uint32_t kQueryBytes = 128;
 inline constexpr std::uint32_t kDataBytes = 8192;
 inline constexpr std::uint32_t kHeartbeatBytes = 32;
 
+/// Why a message (or a whole routing attempt) was abandoned.  The first
+/// three are observed by the transport itself; the last two are reported by
+/// the protocols via note_drop() because only they know a TTL ran out or a
+/// route dead-ended.
+enum class DropReason : std::uint8_t {
+  kDeadSender,    // sender crashed before send
+  kDeadReceiver,  // receiver crashed before delivery
+  kLoss,          // random in-transit loss
+  kTtlExhausted,  // flood/walk TTL reached zero
+  kNoRoute,       // routing dead end (no live successor / orphaned peer)
+  kCount_,        // sentinel
+};
+
+inline constexpr std::size_t kNumDropReasons =
+    static_cast<std::size_t>(DropReason::kCount_);
+
+/// Stable snake_case name for metric keys and trace annotations.
+[[nodiscard]] const char* drop_reason_name(DropReason reason);
+
 /// Aggregate transport counters.
 struct NetworkStats {
   std::uint64_t messages_sent = 0;
@@ -50,12 +70,16 @@ struct NetworkStats {
   std::uint64_t bytes_sent = 0;
   std::uint64_t per_class_messages[kNumTrafficClasses] = {};
   std::uint64_t per_class_bytes[kNumTrafficClasses] = {};
+  std::uint64_t drops_by_reason[kNumDropReasons] = {};
 
   [[nodiscard]] std::uint64_t class_messages(TrafficClass c) const {
     return per_class_messages[static_cast<std::size_t>(c)];
   }
   [[nodiscard]] std::uint64_t class_bytes(TrafficClass c) const {
     return per_class_bytes[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] std::uint64_t reason_drops(DropReason r) const {
+    return drops_by_reason[static_cast<std::size_t>(r)];
   }
 };
 
@@ -64,7 +88,17 @@ struct NetworkStats {
 /// message's fate is decided (delivery, receiver-dead drop, in-transit
 /// loss, sender-dead drop at send time).
 struct NetTraceEvent {
-  enum class Kind { kSend, kDeliver, kDropDeadSender, kDropDeadReceiver, kLoss };
+  /// kDropTtl / kDropNoRoute come from note_drop() (protocol-level); the
+  /// rest from the transport itself.
+  enum class Kind {
+    kSend,
+    kDeliver,
+    kDropDeadSender,
+    kDropDeadReceiver,
+    kLoss,
+    kDropTtl,
+    kDropNoRoute,
+  };
   Kind kind;
   PeerIndex from;
   PeerIndex to;
@@ -117,7 +151,23 @@ class OverlayNetwork {
   /// now + propagation(+transmission).  No-op (counted as dropped) when the
   /// sender is dead; delivery is suppressed when the receiver is dead then.
   void send(PeerIndex from, PeerIndex to, TrafficClass cls,
-            std::uint32_t bytes, Delivery deliver);
+            std::uint32_t bytes, Delivery deliver) {
+    send(from, to, cls, bytes, stats::TraceContext{}, std::move(deliver));
+  }
+
+  /// Traced send: `ctx` is the causal header the protocols propagate.  When
+  /// a span recorder is installed and `ctx` is valid, the message's transit
+  /// becomes a "net" child span (annotated with destination and bytes, and
+  /// with its fate on drop/loss).
+  void send(PeerIndex from, PeerIndex to, TrafficClass cls,
+            std::uint32_t bytes, stats::TraceContext ctx, Delivery deliver);
+
+  /// Protocol-level drop report (TTL exhausted, no route): bumps the
+  /// per-reason counter, emits a NetTraceEvent, and -- when traced --
+  /// records an instant under `ctx`.  Transport-level reasons are counted
+  /// by send() itself.
+  void note_drop(PeerIndex at, DropReason reason, TrafficClass cls,
+                 stats::TraceContext ctx = {});
 
   /// Latency of a single overlay hop, as send() would charge it.
   [[nodiscard]] sim::SimTime hop_latency(PeerIndex from, PeerIndex to,
@@ -145,6 +195,11 @@ class OverlayNetwork {
   /// unset.
   void set_trace(TraceFn fn) { trace_ = std::move(fn); }
 
+  /// Installs (or, with nullptr, removes) the span recorder that traced
+  /// sends and note_drop() report into.  Not owned.
+  void set_span_recorder(stats::SpanRecorder* recorder) { spans_ = recorder; }
+  [[nodiscard]] stats::SpanRecorder* span_recorder() const { return spans_; }
+
  private:
   sim::Simulator& simulator_;
   const net::Underlay& underlay_;
@@ -157,6 +212,7 @@ class OverlayNetwork {
   std::optional<net::LinkStress> link_stress_;
   Rng loss_rng_;
   TraceFn trace_;
+  stats::SpanRecorder* spans_ = nullptr;
 };
 
 }  // namespace hp2p::proto

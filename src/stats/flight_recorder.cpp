@@ -1,0 +1,69 @@
+#include "stats/flight_recorder.hpp"
+
+#include <algorithm>
+
+namespace hp2p::stats {
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {
+  ring_.reserve(capacity_);
+}
+
+void FlightRecorder::record(sim::SimTime at, const char* kind, std::uint64_t a,
+                            std::uint64_t b, std::uint64_t c) {
+  ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(FlightEvent{at, kind, a, b, c});
+    return;
+  }
+  ring_[head_] = FlightEvent{at, kind, a, b, c};
+  head_ = (head_ + 1) % capacity_;
+}
+
+std::size_t FlightRecorder::size() const { return ring_.size(); }
+
+std::vector<FlightEvent> FlightRecorder::snapshot() const {
+  std::vector<FlightEvent> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+JsonValue FlightRecorder::to_json() const {
+  JsonValue out = JsonValue::object();
+  out.set("capacity", JsonValue{static_cast<std::uint64_t>(capacity_)});
+  out.set("total_recorded", JsonValue{total_});
+  JsonValue events = JsonValue::array();
+  for (const FlightEvent& ev : snapshot()) {
+    JsonValue e = JsonValue::object();
+    e.set("t_ms", JsonValue{ev.at.as_millis()});
+    e.set("kind", JsonValue{ev.kind});
+    e.set("a", JsonValue{ev.a});
+    e.set("b", JsonValue{ev.b});
+    e.set("c", JsonValue{ev.c});
+    events.push_back(std::move(e));
+  }
+  out.set("events", std::move(events));
+  return out;
+}
+
+void FlightRecorder::dump(std::ostream& out, const char* why) const {
+  const auto events = snapshot();
+  out << "--- flight recorder: " << why << " (last " << events.size() << " of "
+      << total_ << " events) ---\n";
+  for (const FlightEvent& ev : events) {
+    out << "  " << ev.at << ' ' << ev.kind << ' ' << ev.a << ' ' << ev.b << ' '
+        << ev.c << '\n';
+  }
+  out << "--- end flight recorder ---\n";
+}
+
+void FlightRecorder::clear() {
+  ring_.clear();
+  head_ = 0;
+  total_ = 0;
+}
+
+}  // namespace hp2p::stats

@@ -1,0 +1,57 @@
+// Bounded flight recorder: a fixed-capacity ring buffer over the cheap
+// sim/net trace hooks.  Always-on recording is O(1) per event and holds the
+// last N events only; on a lookup failure, audit violation, or assertion
+// the harness dumps the tail so the run's final moments are inspectable
+// without full tracing.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "stats/json.hpp"
+
+namespace hp2p::stats {
+
+/// One recorded event.  `kind` must be a string literal (stored unowned);
+/// a/b/c are kind-specific payloads (peer ids, seq numbers, byte counts).
+struct FlightEvent {
+  sim::SimTime at{};
+  const char* kind = "";
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+};
+
+/// Fixed-capacity ring of FlightEvents; overwrites the oldest when full.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity = 256);
+
+  void record(sim::SimTime at, const char* kind, std::uint64_t a = 0,
+              std::uint64_t b = 0, std::uint64_t c = 0);
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Number of events currently retained (<= capacity()).
+  [[nodiscard]] std::size_t size() const;
+  /// Total events ever recorded, including overwritten ones.
+  [[nodiscard]] std::uint64_t total_recorded() const { return total_; }
+
+  /// Retained events, oldest first.
+  [[nodiscard]] std::vector<FlightEvent> snapshot() const;
+  /// {"capacity":N, "total_recorded":M, "events":[{t_ms,kind,a,b,c}...]}
+  [[nodiscard]] JsonValue to_json() const;
+  /// Human-readable tail dump with a reason banner, for stderr on failure.
+  void dump(std::ostream& out, const char* why) const;
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::vector<FlightEvent> ring_;
+  std::size_t head_ = 0;  // next write slot once the ring is full
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace hp2p::stats

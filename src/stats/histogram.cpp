@@ -51,6 +51,29 @@ double Histogram::cdf_at(double x) const {
   return static_cast<double>(below) / static_cast<double>(total_);
 }
 
+double Histogram::percentile(double p) const {
+  if (total_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(total_);
+  std::uint64_t cum = 0;
+  std::size_t last_occupied = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    last_occupied = i;
+    const auto next = cum + counts_[i];
+    if (rank <= static_cast<double>(next)) {
+      const double lo = min_ + static_cast<double>(i) * width_;
+      const double frac =
+          (rank - static_cast<double>(cum)) / static_cast<double>(counts_[i]);
+      return lo + width_ * std::max(frac, 0.0);
+    }
+    cum = next;
+  }
+  // Floating-point slack can push rank past total(): upper edge of the last
+  // occupied bin.
+  return min_ + static_cast<double>(last_occupied + 1) * width_;
+}
+
 void CountDistribution::add(std::uint64_t value) {
   if (value >= counts_.size()) counts_.resize(value + 1, 0);
   ++counts_[value];

@@ -35,6 +35,15 @@ class Histogram {
   /// Fraction of samples with value <= x (empirical CDF at a point).
   [[nodiscard]] double cdf_at(double x) const;
 
+  /// Interpolated percentile (p in [0, 100], clamped).  Empty bins carry no
+  /// mass: the rank p/100 * total() is located among the occupied bins and
+  /// interpolated linearly within its bin, so p0 is the lower edge of the
+  /// first occupied bin and p100 the upper edge of the last.  0 when empty.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double p50() const { return percentile(50.0); }
+  [[nodiscard]] double p95() const { return percentile(95.0); }
+  [[nodiscard]] double p99() const { return percentile(99.0); }
+
  private:
   [[nodiscard]] std::size_t bin_for(double sample) const;
 

@@ -1,0 +1,69 @@
+#include "stats/timeseries.hpp"
+
+#include <utility>
+
+namespace hp2p::stats {
+
+JsonValue TimeSeries::to_json() const {
+  JsonValue out = JsonValue::object();
+  out.set("name", JsonValue{name});
+  out.set("period_ms", JsonValue{period_ms});
+  JsonValue times = JsonValue::array();
+  for (double t : t_ms) times.push_back(JsonValue{t});
+  out.set("t_ms", std::move(times));
+  JsonValue series = JsonValue::object();
+  for (const TimeSeriesColumn& col : columns) {
+    JsonValue values = JsonValue::array();
+    for (double v : col.values) values.push_back(JsonValue{v});
+    series.set(col.name, std::move(values));
+  }
+  out.set("series", std::move(series));
+  return out;
+}
+
+TimeSeriesSampler::TimeSeriesSampler(sim::Simulator& sim, sim::Duration period,
+                                     std::string name)
+    : sim_(sim), period_(period) {
+  series_.name = std::move(name);
+  series_.period_ms = period.as_millis();
+}
+
+void TimeSeriesSampler::add_gauge(std::string name,
+                                  std::function<double()> fn) {
+  series_.columns.push_back(TimeSeriesColumn{std::move(name), {}});
+  gauges_.push_back(std::move(fn));
+}
+
+void TimeSeriesSampler::sample_now() {
+  series_.t_ms.push_back(sim_.now().as_millis());
+  for (std::size_t i = 0; i < gauges_.size(); ++i) {
+    series_.columns[i].values.push_back(gauges_[i]());
+  }
+}
+
+void TimeSeriesSampler::ensure_running() {
+  if (armed_) return;
+  armed_ = true;
+  sim_.schedule_after(period_, [this] { tick(); });
+}
+
+void TimeSeriesSampler::tick() {
+  armed_ = false;
+  sample_now();
+  // Re-arm only while real work remains: a lone self-rescheduling tick
+  // would keep sim.run() from ever draining.
+  if (sim_.pending_events() > 0) ensure_running();
+}
+
+TimeSeries TimeSeriesSampler::take() {
+  TimeSeries out = std::move(series_);
+  series_ = TimeSeries{};
+  series_.name = out.name;
+  series_.period_ms = out.period_ms;
+  for (const TimeSeriesColumn& col : out.columns) {
+    series_.columns.push_back(TimeSeriesColumn{col.name, {}});
+  }
+  return out;
+}
+
+}  // namespace hp2p::stats

@@ -1,0 +1,73 @@
+// Periodic gauge sampling over simulated time.
+//
+// A TimeSeriesSampler snapshots a set of registered gauges (live peers,
+// pending lookups, message counters, event-queue depth...) every `period`
+// of sim-time and accumulates the samples as parallel columns.  The result
+// embeds into BENCH_*.json (schema v2) as a `timeseries` block.
+//
+// Scheduling: the tick self-reschedules only while the simulator has other
+// pending events, so a phase's `sim.run()` still drains.  Call
+// ensure_running() at the start of each phase to re-arm the tick.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+#include "stats/json.hpp"
+
+namespace hp2p::stats {
+
+/// One gauge's samples; values.size() always equals the owning series'
+/// t_ms.size().
+struct TimeSeriesColumn {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// A finished sampling run: shared timestamps + one column per gauge.
+struct TimeSeries {
+  std::string name;
+  double period_ms = 0;
+  std::vector<double> t_ms;  // sim-time of each sample, milliseconds
+  std::vector<TimeSeriesColumn> columns;
+
+  [[nodiscard]] std::size_t num_samples() const { return t_ms.size(); }
+  /// {"name":..., "period_ms":..., "t_ms":[...], "series":{gauge:[...]}}
+  [[nodiscard]] JsonValue to_json() const;
+};
+
+/// Samples registered gauges at a fixed sim-time period.
+class TimeSeriesSampler {
+ public:
+  TimeSeriesSampler(sim::Simulator& sim, sim::Duration period,
+                    std::string name = "timeseries");
+
+  /// Registers a gauge; must happen before the first sample.
+  void add_gauge(std::string name, std::function<double()> fn);
+
+  /// Takes one sample at sim.now() immediately.
+  void sample_now();
+
+  /// Arms the periodic tick unless one is already pending.  The tick keeps
+  /// itself armed while other simulator events exist and lapses when the
+  /// queue would otherwise drain -- so call this again per phase.
+  void ensure_running();
+
+  [[nodiscard]] const TimeSeries& series() const { return series_; }
+  /// Moves the accumulated series out (sampler keeps running on empty data).
+  [[nodiscard]] TimeSeries take();
+
+ private:
+  void tick();
+
+  sim::Simulator& sim_;
+  sim::Duration period_;
+  bool armed_ = false;
+  std::vector<std::function<double()>> gauges_;
+  TimeSeries series_;
+};
+
+}  // namespace hp2p::stats

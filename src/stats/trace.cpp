@@ -1,0 +1,280 @@
+#include "stats/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "stats/histogram.hpp"
+#include "stats/metrics.hpp"
+
+namespace hp2p::stats {
+
+SpanRecorder::SpanRecorder(std::size_t max_spans) : max_spans_(max_spans) {}
+
+bool SpanRecorder::full() {
+  if (spans_.size() < max_spans_) return false;
+  ++dropped_;
+  return true;
+}
+
+TraceContext SpanRecorder::start_trace(const char* name, const char* category,
+                                       std::uint32_t peer, sim::SimTime now) {
+  if (full()) return {};
+  const std::uint64_t trace_id = next_trace_id_++;
+  const std::uint64_t id = next_span_id_++;
+  ++num_traces_;
+  index_[id] = spans_.size();
+  spans_.push_back(Span{trace_id, id, 0, name, category, peer, now, now,
+                        /*open=*/true, /*instant=*/false, {}});
+  return TraceContext{trace_id, id};
+}
+
+TraceContext SpanRecorder::begin_span(TraceContext parent, const char* name,
+                                      const char* category, std::uint32_t peer,
+                                      sim::SimTime now) {
+  if (!parent.valid() || full()) return {};
+  const std::uint64_t id = next_span_id_++;
+  index_[id] = spans_.size();
+  spans_.push_back(Span{parent.trace_id, id, parent.span_id, name, category,
+                        peer, now, now, /*open=*/true, /*instant=*/false, {}});
+  return TraceContext{parent.trace_id, id};
+}
+
+Span* SpanRecorder::slot(TraceContext ctx) {
+  if (ctx.span_id == 0) return nullptr;
+  const auto it = index_.find(ctx.span_id);
+  if (it == index_.end()) return nullptr;
+  return &spans_[it->second];
+}
+
+void SpanRecorder::end_span(TraceContext span, sim::SimTime now) {
+  Span* s = slot(span);
+  if (s == nullptr || !s->open) return;
+  s->open = false;
+  s->end = std::max(s->start, now);
+}
+
+void SpanRecorder::instant(TraceContext parent, const char* name,
+                           std::uint32_t peer, sim::SimTime now) {
+  if (!parent.valid() || full()) return;
+  const std::uint64_t id = next_span_id_++;
+  index_[id] = spans_.size();
+  spans_.push_back(Span{parent.trace_id, id, parent.span_id, name, "", peer,
+                        now, now, /*open=*/false, /*instant=*/true, {}});
+}
+
+void SpanRecorder::instant(TraceContext parent, const char* name,
+                           std::uint32_t peer, sim::SimTime now,
+                           const char* key, std::int64_t value) {
+  if (!parent.valid() || full()) return;
+  instant(parent, name, peer, now);
+  spans_.back().args.emplace_back(key, value);
+}
+
+void SpanRecorder::add_arg(TraceContext span, const char* key,
+                           std::int64_t value) {
+  Span* s = slot(span);
+  if (s == nullptr) return;
+  s->args.emplace_back(key, value);
+}
+
+const Span* SpanRecorder::find(std::uint64_t span_id) const {
+  const auto it = index_.find(span_id);
+  return it == index_.end() ? nullptr : &spans_[it->second];
+}
+
+std::vector<const Span*> SpanRecorder::trace(std::uint64_t trace_id) const {
+  std::vector<const Span*> out;
+  for (const Span& s : spans_) {
+    if (s.trace_id == trace_id) out.push_back(&s);
+  }
+  return out;
+}
+
+std::vector<LookupBreakdown> SpanRecorder::lookup_breakdowns() const {
+  // One pass: breakdowns keyed by trace id, created at the lookup root.
+  std::unordered_map<std::uint64_t, LookupBreakdown> by_trace;
+  for (const Span& s : spans_) {
+    if (s.parent == 0 && std::string_view{s.category} == "lookup") {
+      LookupBreakdown b;
+      b.trace_id = s.trace_id;
+      b.total_ms = s.duration_ms();
+      for (const auto& [key, value] : s.args) {
+        if (std::string_view{key} == "success") b.success = value != 0;
+      }
+      by_trace.emplace(s.trace_id, b);
+    }
+  }
+  for (const Span& s : spans_) {
+    const auto it = by_trace.find(s.trace_id);
+    if (it == by_trace.end()) continue;
+    LookupBreakdown& b = it->second;
+    const std::string_view cat{s.category};
+    if (s.instant) {
+      const std::string_view name{s.name};
+      if (name == "ring_hop") ++b.ring_hops;
+      if (name == "flood_hop" || name == "walk_hop") {
+        for (const auto& [key, value] : s.args) {
+          if (std::string_view{key} == "depth") {
+            b.flood_depth = std::max(b.flood_depth,
+                                     static_cast<std::uint32_t>(value));
+          }
+        }
+      }
+      continue;
+    }
+    if (cat == "climb") b.climb_ms += s.duration_ms();
+    else if (cat == "ring") b.ring_ms += s.duration_ms();
+    else if (cat == "flood") b.flood_ms += s.duration_ms();
+    else if (cat == "reply") b.reply_ms += s.duration_ms();
+  }
+  std::vector<LookupBreakdown> out;
+  out.reserve(by_trace.size());
+  for (auto& [id, b] : by_trace) out.push_back(b);
+  std::sort(out.begin(), out.end(),
+            [](const LookupBreakdown& a, const LookupBreakdown& b) {
+              return a.trace_id < b.trace_id;
+            });
+  return out;
+}
+
+namespace {
+
+/// Exports mean + interpolated percentiles of `values` under <base>.
+void export_quantiles(MetricsRegistry& reg, const std::string& base,
+                      const std::vector<double>& values) {
+  if (values.empty()) return;
+  const double max = *std::max_element(values.begin(), values.end());
+  // A degenerate all-zero distribution still needs a nonzero bin width.
+  Histogram hist{0.0, max > 0 ? max * (1.0 + 1e-9) : 1.0, 128};
+  double total = 0;
+  for (double v : values) {
+    hist.add(v);
+    total += v;
+  }
+  reg.set(base + ".mean", total / static_cast<double>(values.size()));
+  reg.set(base + ".p50", hist.p50());
+  reg.set(base + ".p95", hist.p95());
+  reg.set(base + ".p99", hist.p99());
+}
+
+}  // namespace
+
+void SpanRecorder::collect_critical_path(MetricsRegistry& reg,
+                                         const std::string& prefix) const {
+  const auto breakdowns = lookup_breakdowns();
+  reg.set(prefix + ".lookups",
+          static_cast<std::uint64_t>(breakdowns.size()));
+  reg.set(prefix + ".traces", static_cast<std::uint64_t>(num_traces_));
+  reg.set(prefix + ".spans", static_cast<std::uint64_t>(spans_.size()));
+  reg.set(prefix + ".dropped_spans", static_cast<std::uint64_t>(dropped_));
+  if (breakdowns.empty()) return;
+  std::vector<double> total, climb, ring, flood, reply, hops, depth;
+  std::uint64_t succeeded = 0;
+  for (const LookupBreakdown& b : breakdowns) {
+    total.push_back(b.total_ms);
+    climb.push_back(b.climb_ms);
+    ring.push_back(b.ring_ms);
+    flood.push_back(b.flood_ms);
+    reply.push_back(b.reply_ms);
+    hops.push_back(static_cast<double>(b.ring_hops));
+    depth.push_back(static_cast<double>(b.flood_depth));
+    if (b.success) ++succeeded;
+  }
+  reg.set(prefix + ".succeeded", succeeded);
+  export_quantiles(reg, prefix + ".total_ms", total);
+  export_quantiles(reg, prefix + ".climb_ms", climb);
+  export_quantiles(reg, prefix + ".ring_ms", ring);
+  export_quantiles(reg, prefix + ".flood_ms", flood);
+  export_quantiles(reg, prefix + ".reply_ms", reply);
+  export_quantiles(reg, prefix + ".ring_hops", hops);
+  export_quantiles(reg, prefix + ".flood_depth", depth);
+}
+
+JsonValue SpanRecorder::to_catapult() const {
+  JsonValue events = JsonValue::array();
+  {
+    // Process metadata so Perfetto labels the single pid lane.
+    JsonValue meta = JsonValue::object();
+    meta.set("name", JsonValue{"process_name"});
+    meta.set("ph", JsonValue{"M"});
+    meta.set("pid", JsonValue{std::int64_t{1}});
+    JsonValue args = JsonValue::object();
+    args.set("name", JsonValue{"hp2p-sim"});
+    meta.set("args", std::move(args));
+    events.push_back(std::move(meta));
+  }
+  const auto common = [](const Span& s, const char* ph) {
+    JsonValue ev = JsonValue::object();
+    ev.set("name", JsonValue{s.name});
+    ev.set("cat", JsonValue{*s.category == '\0' ? "event" : s.category});
+    ev.set("ph", JsonValue{ph});
+    // Async events grouped by (cat, id): keying on the trace id gives every
+    // traced operation its own track.
+    ev.set("id", JsonValue{static_cast<std::int64_t>(s.trace_id)});
+    ev.set("pid", JsonValue{std::int64_t{1}});
+    ev.set("tid", JsonValue{static_cast<std::int64_t>(s.peer)});
+    return ev;
+  };
+  const auto args_of = [](const Span& s) {
+    JsonValue args = JsonValue::object();
+    args.set("trace", JsonValue{static_cast<std::int64_t>(s.trace_id)});
+    args.set("peer", JsonValue{static_cast<std::int64_t>(s.peer)});
+    for (const auto& [key, value] : s.args) {
+      args.set(key, JsonValue{value});
+    }
+    return args;
+  };
+  for (const Span& s : spans_) {
+    if (s.instant) {
+      JsonValue ev = common(s, "n");
+      ev.set("ts", JsonValue{s.start.as_micros()});
+      ev.set("args", args_of(s));
+      events.push_back(std::move(ev));
+      continue;
+    }
+    JsonValue begin = common(s, "b");
+    begin.set("ts", JsonValue{s.start.as_micros()});
+    begin.set("args", args_of(s));
+    events.push_back(std::move(begin));
+    JsonValue end = common(s, "e");
+    end.set("ts", JsonValue{(s.open ? s.start : s.end).as_micros()});
+    if (s.open) {
+      JsonValue args = JsonValue::object();
+      args.set("open", JsonValue{true});
+      end.set("args", std::move(args));
+    }
+    events.push_back(std::move(end));
+  }
+  JsonValue root = JsonValue::object();
+  root.set("traceEvents", std::move(events));
+  root.set("displayTimeUnit", JsonValue{"ms"});
+  return root;
+}
+
+bool SpanRecorder::write_catapult(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out{tmp};
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write %s\n", tmp.c_str());
+      return false;
+    }
+    out << to_catapult().dump(1) << '\n';
+    out.close();
+    if (!out) {
+      std::fprintf(stderr, "warning: short write to %s\n", tmp.c_str());
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::fprintf(stderr, "warning: cannot rename %s -> %s\n", tmp.c_str(),
+                 path.c_str());
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace hp2p::stats

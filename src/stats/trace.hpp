@@ -1,0 +1,141 @@
+// Causal tracing: per-operation span trees over the simulated protocols.
+//
+// A TraceContext (trace id + span id) is the "message header" the overlays
+// thread through their closures: every store/lookup opens a root span, each
+// protocol stage (cp-chain climb, ring routing, s-network flood, reply)
+// opens a child span, and each message hop records an instant event.  The
+// SpanRecorder collects the resulting trees and can
+//   * export them as Chrome trace-event (catapult) JSON -- open the file in
+//     chrome://tracing or https://ui.perfetto.dev,
+//   * reduce every finished lookup to a critical-path breakdown (ring time
+//     vs flood time vs reply time, ring hops, flood depth) and feed the
+//     aggregate percentiles into a MetricsRegistry.
+//
+// Recording is off unless a recorder is installed (one pointer test per
+// site); names/categories must be string literals (they are stored as
+// `const char*` and never copied).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "stats/json.hpp"
+
+namespace hp2p::stats {
+
+class MetricsRegistry;
+
+/// The propagated trace header: which operation (trace) a message belongs
+/// to and which span it should parent new work under.  A default-constructed
+/// context is "not traced" and makes every recording call a no-op.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  [[nodiscard]] constexpr bool valid() const { return trace_id != 0; }
+  friend constexpr bool operator==(TraceContext, TraceContext) = default;
+};
+
+/// One recorded span (or instant event, when `instant`).
+struct Span {
+  std::uint64_t trace_id = 0;
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;  // 0 = root of its trace
+  const char* name = "";
+  const char* category = "";
+  /// Peer the span executes at; renders as the catapult tid lane.
+  std::uint32_t peer = 0;
+  sim::SimTime start{};
+  sim::SimTime end{};
+  bool open = true;       // end_span not yet seen (instants are never open)
+  bool instant = false;   // zero-duration marker event
+  /// Small key->value annotations (TTL, hop count, drop reason index...).
+  std::vector<std::pair<const char*, std::int64_t>> args;
+
+  [[nodiscard]] double duration_ms() const { return (end - start).as_millis(); }
+};
+
+/// Aggregated critical-path breakdown of one finished lookup trace.
+struct LookupBreakdown {
+  std::uint64_t trace_id = 0;
+  double total_ms = 0;  // root span extent
+  double climb_ms = 0;  // cp-chain forwarding to the local t-peer
+  double ring_ms = 0;   // t-network routing
+  double flood_ms = 0;  // s-network flood / walk window
+  double reply_ms = 0;  // answer travelling back to the requester
+  std::uint32_t ring_hops = 0;
+  std::uint32_t flood_depth = 0;  // deepest flood_hop TTL level reached
+  bool success = false;
+};
+
+/// Collects span trees; one instance per traced replica (not thread-safe,
+/// like everything else at simulator granularity).
+class SpanRecorder {
+ public:
+  /// `max_spans` bounds memory on soak runs; once full, new spans are
+  /// counted in dropped_spans() and silently skipped.
+  explicit SpanRecorder(std::size_t max_spans = 1u << 20);
+
+  /// Opens a root span and returns the context to propagate.
+  TraceContext start_trace(const char* name, const char* category,
+                           std::uint32_t peer, sim::SimTime now);
+  /// Opens a child span of `parent` (no-op context when parent invalid).
+  TraceContext begin_span(TraceContext parent, const char* name,
+                          const char* category, std::uint32_t peer,
+                          sim::SimTime now);
+  /// Closes a span; no-op on invalid/unknown/already-closed contexts.
+  void end_span(TraceContext span, sim::SimTime now);
+  /// Records a zero-duration marker under `parent`.
+  void instant(TraceContext parent, const char* name, std::uint32_t peer,
+               sim::SimTime now);
+  /// Same, with one annotation attached.
+  void instant(TraceContext parent, const char* name, std::uint32_t peer,
+               sim::SimTime now, const char* key, std::int64_t value);
+  /// Annotates an open or closed span.
+  void add_arg(TraceContext span, const char* key, std::int64_t value);
+
+  // --- Introspection ---------------------------------------------------------
+
+  [[nodiscard]] const std::vector<Span>& spans() const { return spans_; }
+  [[nodiscard]] const Span* find(std::uint64_t span_id) const;
+  /// All spans of one trace, in recording order.
+  [[nodiscard]] std::vector<const Span*> trace(std::uint64_t trace_id) const;
+  [[nodiscard]] std::size_t dropped_spans() const { return dropped_; }
+  [[nodiscard]] std::size_t num_traces() const { return num_traces_; }
+
+  // --- Reduction -------------------------------------------------------------
+
+  /// Per-trace breakdowns for every root span with category "lookup".
+  [[nodiscard]] std::vector<LookupBreakdown> lookup_breakdowns() const;
+
+  /// Aggregates lookup_breakdowns() into `reg` under `prefix`: per-component
+  /// p50/p95/p99/mean milliseconds (stats::Histogram interpolation), mean/max
+  /// ring hops and flood depth, and the trace/span bookkeeping counters.
+  void collect_critical_path(MetricsRegistry& reg,
+                             const std::string& prefix) const;
+
+  // --- Export ----------------------------------------------------------------
+
+  /// Chrome trace-event JSON: spans as async begin/end pairs keyed by trace
+  /// id (each operation gets its own track in Perfetto), instants as async
+  /// marker events.
+  [[nodiscard]] JsonValue to_catapult() const;
+  /// Writes to_catapult() to `path` atomically (temp file + rename).
+  bool write_catapult(const std::string& path) const;
+
+ private:
+  Span* slot(TraceContext ctx);
+  bool full();
+
+  std::size_t max_spans_;
+  std::size_t dropped_ = 0;
+  std::size_t num_traces_ = 0;
+  std::uint64_t next_trace_id_ = 1;
+  std::uint64_t next_span_id_ = 1;
+  std::vector<Span> spans_;
+  std::unordered_map<std::uint64_t, std::size_t> index_;  // span id -> slot
+};
+
+}  // namespace hp2p::stats

@@ -1,0 +1,131 @@
+// Standalone validator for the observability artifacts a traced bench run
+// leaves behind: the BENCH_*.json report (schema v2, with at least one
+// sampled time-series block and the critical-path metrics) and the
+// TRACE_*.json catapult file (Perfetto-loadable: balanced async begin/end
+// pairs, metadata record, microsecond timestamps).  Used by the
+// bench_trace_validate ctest entry, which runs after the bench_trace_smoke
+// fixture produced both files.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "stats/json.hpp"
+
+namespace {
+
+using hp2p::stats::JsonValue;
+
+int fail(const std::string& message) {
+  std::fprintf(stderr, "bench_schema_check: %s\n", message.c_str());
+  return 1;
+}
+
+std::optional<JsonValue> load(const std::string& path) {
+  std::ifstream in{path};
+  if (!in.good()) return std::nullopt;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return JsonValue::parse(buf.str());
+}
+
+int check_bench(const std::string& path) {
+  const auto root = load(path);
+  if (!root) return fail("cannot read or parse " + path);
+  const auto* version = root->find_path("schema_version");
+  if (version == nullptr || version->as_int() != 2) {
+    return fail(path + ": schema_version must be 2");
+  }
+  for (const char* field : {"bench", "seed", "config", "metrics", "tables"}) {
+    if (root->find_path(field) == nullptr) {
+      return fail(path + ": missing v1 field '" + field + "'");
+    }
+  }
+  const auto* timeseries = root->find_path("timeseries");
+  if (timeseries == nullptr || !timeseries->is_array()) {
+    return fail(path + ": missing v2 'timeseries' array");
+  }
+  if (timeseries->items().empty()) {
+    return fail(path + ": traced run must embed at least one timeseries");
+  }
+  for (const JsonValue& block : timeseries->items()) {
+    const auto* t_ms = block.find_path("t_ms");
+    const auto* series = block.find_path("series");
+    if (t_ms == nullptr || !t_ms->is_array() || t_ms->items().empty()) {
+      return fail(path + ": timeseries block has no samples");
+    }
+    if (series == nullptr || !series->is_object() ||
+        series->members().empty()) {
+      return fail(path + ": timeseries block has no gauge columns");
+    }
+    for (const auto& [name, values] : series->members()) {
+      if (!values.is_array() ||
+          values.items().size() != t_ms->items().size()) {
+        return fail(path + ": gauge '" + name + "' misaligned with t_ms");
+      }
+    }
+  }
+  const auto* lookups = root->find_path("metrics.trace.lookups");
+  if (lookups == nullptr || lookups->as_int() <= 0) {
+    return fail(path + ": metrics.trace.lookups missing or zero");
+  }
+  if (root->find_path("metrics.trace.total_ms.p95") == nullptr) {
+    return fail(path + ": critical-path percentiles missing");
+  }
+  return 0;
+}
+
+int check_catapult(const std::string& path) {
+  const auto root = load(path);
+  if (!root) return fail("cannot read or parse " + path);
+  const auto* unit = root->find_path("displayTimeUnit");
+  if (unit == nullptr || unit->as_string() != "ms") {
+    return fail(path + ": displayTimeUnit must be 'ms'");
+  }
+  const auto* events = root->find_path("traceEvents");
+  if (events == nullptr || !events->is_array() || events->items().empty()) {
+    return fail(path + ": empty traceEvents");
+  }
+  std::size_t begins = 0;
+  std::size_t ends = 0;
+  std::size_t metadata = 0;
+  for (const JsonValue& ev : events->items()) {
+    const auto* ph = ev.find("ph");
+    if (ph == nullptr || !ph->is_string()) {
+      return fail(path + ": event without phase");
+    }
+    const std::string& phase = ph->as_string();
+    if (phase == "M") {
+      ++metadata;
+      continue;
+    }
+    if (phase != "b" && phase != "e" && phase != "n") {
+      return fail(path + ": unexpected phase '" + phase + "'");
+    }
+    for (const char* field : {"name", "cat", "id", "pid", "tid", "ts"}) {
+      if (ev.find(field) == nullptr) {
+        return fail(path + ": event missing '" + field + "'");
+      }
+    }
+    if (phase == "b") ++begins;
+    if (phase == "e") ++ends;
+  }
+  if (metadata == 0) return fail(path + ": missing process metadata event");
+  if (begins == 0) return fail(path + ": no spans recorded");
+  if (begins != ends) {
+    return fail(path + ": unbalanced async begin/end events");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    return fail("usage: bench_schema_check <BENCH_*.json> <TRACE_*.json>");
+  }
+  if (const int rc = check_bench(argv[1]); rc != 0) return rc;
+  if (const int rc = check_catapult(argv[2]); rc != 0) return rc;
+  std::printf("bench_schema_check: %s and %s OK\n", argv[1], argv[2]);
+  return 0;
+}

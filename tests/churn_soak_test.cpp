@@ -4,10 +4,13 @@
 // so each instantiation explores a different interleaving.
 #include <gtest/gtest.h>
 
+#include <iostream>
 #include <set>
 #include <vector>
 
+#include "exp/harness.hpp"
 #include "hybrid/hybrid_system.hpp"
+#include "stats/flight_recorder.hpp"
 #include "tests/test_util.hpp"
 #include "workload/workload.hpp"
 
@@ -33,6 +36,11 @@ TEST_P(ChurnSoak, SystemSurvivesSustainedChurn) {
   params.hello_timeout = sim::SimTime::millis(1500);
   params.lookup_timeout = sim::SimTime::seconds(10);
   HybridSystem system{*world.network, params, HostIndex{0}, world.rng};
+
+  // Always-on flight recorder over the kernel + transport trace hooks: on
+  // an availability failure below, its tail shows the run's final moments.
+  stats::FlightRecorder flight{512};
+  exp::attach_flight_recorder(flight, world.sim, *world.network);
 
   // Build 60 peers.
   std::vector<PeerIndex> peers;
@@ -121,8 +129,15 @@ TEST_P(ChurnSoak, SystemSurvivesSustainedChurn) {
   world.sim.run_until(world.sim.now() + sim::SimTime::seconds(40));
   EXPECT_GT(issued, 0);
   // A small tolerance: lookups racing a concurrent rejoin can miss.
+  if (failures > issued / 20) {
+    flight.dump(std::cerr, "surviving items unreachable after churn");
+  }
   EXPECT_LE(failures, issued / 20)
       << failures << "/" << issued << " surviving items unreachable";
+
+  // The recorder ran the whole soak and stayed bounded.
+  EXPECT_GT(flight.total_recorded(), flight.capacity());
+  EXPECT_EQ(flight.size(), flight.capacity());
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 
@@ -14,6 +15,8 @@
 #include "stats/metrics.hpp"
 #include "stats/summary.hpp"
 #include "stats/table.hpp"
+#include "stats/timeseries.hpp"
+#include "stats/trace.hpp"
 
 namespace hp2p::stats {
 namespace {
@@ -122,6 +125,58 @@ TEST(MetricsCollect, RunResultAggregatesAllCounterStructs) {
   // Phase timings came along.
   EXPECT_GE(reg.number_or("run.phase.build.sim_ms", -1), 0.0);
   EXPECT_GE(reg.number_or("run.phase.lookup.wall_ms", -1), 0.0);
+  // Per-reason drop counters are exported for all enumerated reasons.
+  for (std::size_t i = 0; i < proto::kNumDropReasons; ++i) {
+    const auto reason = static_cast<proto::DropReason>(i);
+    const std::string key =
+        std::string{"run.net.drop."} + proto::drop_reason_name(reason);
+    EXPECT_DOUBLE_EQ(reg.number_or(key, -1),
+                     static_cast<double>(r.network.reason_drops(reason)))
+        << key;
+  }
+}
+
+TEST(MetricsCollect, TracedRunExportsCriticalPathAndTimeseries) {
+  SpanRecorder recorder;
+  exp::RunConfig cfg;
+  cfg.seed = 10;
+  cfg.num_peers = 40;
+  cfg.num_items = 60;
+  cfg.num_lookups = 60;
+  cfg.hybrid.ps = 0.5;
+  cfg.tracer = &recorder;
+  cfg.sample_period = sim::SimTime::millis(100);
+  const auto r = exp::run_hybrid_experiment(cfg);
+
+  // The tracer saw every lookup the harness issued.
+  EXPECT_EQ(recorder.lookup_breakdowns().size(), r.lookups.issued);
+  MetricsRegistry reg;
+  recorder.collect_critical_path(reg, "trace.lookup_critical_path");
+  EXPECT_DOUBLE_EQ(reg.number_or("trace.lookup_critical_path.lookups", -1),
+                   static_cast<double>(r.lookups.issued));
+  EXPECT_GE(reg.number_or("trace.lookup_critical_path.total_ms.p99", -1),
+            reg.number_or("trace.lookup_critical_path.total_ms.p50", 0));
+
+  // The sampler produced a time series covering the whole run.
+  ASSERT_TRUE(r.timeseries.has_value());
+  EXPECT_GT(r.timeseries->num_samples(), 1u);
+  ASSERT_FALSE(r.timeseries->columns.empty());
+  for (const auto& col : r.timeseries->columns) {
+    EXPECT_EQ(col.values.size(), r.timeseries->num_samples()) << col.name;
+  }
+}
+
+TEST(DropReasons, NamesAreStableAndDistinct) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < proto::kNumDropReasons; ++i) {
+    names.insert(proto::drop_reason_name(static_cast<proto::DropReason>(i)));
+  }
+  EXPECT_EQ(names.size(), proto::kNumDropReasons);
+  EXPECT_EQ(std::string{proto::drop_reason_name(proto::DropReason::kLoss)},
+            "loss");
+  EXPECT_EQ(std::string{proto::drop_reason_name(
+                proto::DropReason::kTtlExhausted)},
+            "ttl_exhausted");
 }
 
 TEST(Reporter, JsonMatchesSchema) {
@@ -141,6 +196,7 @@ TEST(Reporter, JsonMatchesSchema) {
   ASSERT_TRUE(root.is_object());
   EXPECT_EQ(root.find_path("schema_version")->as_int(),
             bench::Reporter::kSchemaVersion);
+  EXPECT_EQ(bench::Reporter::kSchemaVersion, 2);
   EXPECT_EQ(root.find_path("bench")->as_string(), "selftest");
   EXPECT_EQ(root.find_path("seed")->as_int(), 7);
   EXPECT_EQ(root.find_path("config.peers")->as_int(), 10);
@@ -157,6 +213,35 @@ TEST(Reporter, JsonMatchesSchema) {
   EXPECT_EQ(t.find_path("columns")->items()[0].as_string(), "col_a");
   ASSERT_EQ(t.find_path("rows")->items().size(), 1u);
   EXPECT_EQ(t.find_path("rows")->items()[0].items().size(), 2u);
+
+  // v2: the timeseries array is always present, empty when nothing sampled.
+  const JsonValue* timeseries = root.find_path("timeseries");
+  ASSERT_NE(timeseries, nullptr);
+  ASSERT_TRUE(timeseries->is_array());
+  EXPECT_TRUE(timeseries->items().empty());
+}
+
+TEST(Reporter, TimeseriesBlockEmbedsInReport) {
+  bench::Reporter reporter{"ts_selftest"};
+  TimeSeries ts;
+  ts.name = "gauges";
+  ts.period_ms = 250.0;
+  ts.t_ms = {0.0, 250.0};
+  ts.columns.push_back(TimeSeriesColumn{"live_peers", {10.0, 12.0}});
+  reporter.add_timeseries(ts);
+
+  const JsonValue root = reporter.to_json();
+  const JsonValue* blocks = root.find_path("timeseries");
+  ASSERT_NE(blocks, nullptr);
+  ASSERT_EQ(blocks->items().size(), 1u);
+  const JsonValue& block = blocks->items()[0];
+  EXPECT_EQ(block.find_path("name")->as_string(), "gauges");
+  EXPECT_DOUBLE_EQ(block.find_path("period_ms")->as_double(), 250.0);
+  ASSERT_EQ(block.find_path("t_ms")->items().size(), 2u);
+  const JsonValue* col = block.find_path("series.live_peers");
+  ASSERT_NE(col, nullptr);
+  ASSERT_EQ(col->items().size(), 2u);
+  EXPECT_DOUBLE_EQ(col->items()[1].as_double(), 12.0);
 }
 
 TEST(Reporter, WrittenFileParsesBack) {
@@ -171,6 +256,9 @@ TEST(Reporter, WrittenFileParsesBack) {
   const auto parsed = stats::JsonValue::parse(buf.str());
   ASSERT_TRUE(parsed.has_value());
   EXPECT_EQ(*parsed, reporter.to_json());
+  // The write was atomic: no temp file may linger next to the report.
+  std::ifstream tmp{path + ".tmp"};
+  EXPECT_FALSE(tmp.good()) << "temp file left behind";
   std::remove(path.c_str());
 }
 

@@ -52,6 +52,49 @@ TEST(Histogram, CdfAtBinBoundary) {
   EXPECT_NEAR(h.cdf_at(10.0), 1.0, 1e-12);
 }
 
+TEST(Histogram, PercentileEmptyIsZero) {
+  Histogram h{0.0, 10.0, 10};
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 0.0);
+}
+
+TEST(Histogram, PercentileSingleSampleInterpolatesItsBin) {
+  Histogram h{0.0, 10.0, 10};
+  h.add(5.2);  // the single occupied bin is [5, 6)
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(h.p50(), 5.5);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 6.0);
+}
+
+TEST(Histogram, PercentileTwoBucketsInterpolatesAcross) {
+  Histogram h{0.0, 10.0, 10};
+  h.add(1.5);  // bin [1, 2)
+  h.add(3.5);  // bin [3, 4)
+  EXPECT_DOUBLE_EQ(h.percentile(25.0), 1.5);
+  EXPECT_DOUBLE_EQ(h.p50(), 2.0);  // exactly drains the first bin
+  EXPECT_DOUBLE_EQ(h.percentile(75.0), 3.5);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 4.0);
+}
+
+TEST(Histogram, PercentileAccessorsMatchPercentile) {
+  Histogram h{0.0, 100.0, 50};
+  for (int i = 0; i < 1000; ++i) h.add(i % 100 + 0.5);
+  EXPECT_DOUBLE_EQ(h.p50(), h.percentile(50.0));
+  EXPECT_DOUBLE_EQ(h.p95(), h.percentile(95.0));
+  EXPECT_DOUBLE_EQ(h.p99(), h.percentile(99.0));
+  EXPECT_LE(h.p50(), h.p95());
+  EXPECT_LE(h.p95(), h.p99());
+  EXPECT_NEAR(h.p50(), 50.0, 2.0);
+}
+
+TEST(Histogram, PercentileClampsOutOfRangeP) {
+  Histogram h{0.0, 10.0, 10};
+  h.add(5.2);
+  EXPECT_DOUBLE_EQ(h.percentile(-10.0), h.percentile(0.0));
+  EXPECT_DOUBLE_EQ(h.percentile(250.0), h.percentile(100.0));
+}
+
 TEST(CountDistribution, FractionZero) {
   CountDistribution d;
   d.add(0);
