@@ -6,6 +6,7 @@
 
 #include "analysis/model.hpp"
 #include "bench_util.hpp"
+#include "exp/metrics_collect.hpp"
 #include "stats/table.hpp"
 
 using namespace hp2p;
@@ -117,6 +118,9 @@ int main() {
     cfg.sample_period = sim::SimTime::millis(250);
     const auto result = exp::run_hybrid_experiment(cfg);
     recorder.collect_critical_path(reporter.metrics(), "trace");
+    // Full result export (incl. traced.audit.* when HP2P_AUDIT=1 is also
+    // set -- the audit-smoke ctest fixture validates those).
+    exp::collect_run_result(reporter.metrics(), "traced", result);
     if (result.timeseries) reporter.add_timeseries(*result.timeseries);
     const auto breakdowns = recorder.lookup_breakdowns();
     std::printf("traced %zu lookups across %zu spans (%zu dropped)\n",

@@ -146,8 +146,7 @@ std::vector<std::uint64_t> cache_probes(std::size_t cap) {
   std::vector<std::uint64_t> probes;
   probes.reserve(1024);
   for (std::size_t i = 0; i < 1024; ++i) {
-    probes.push_back(rng.uniform(0, static_cast<std::int64_t>(cap) - 1) *
-                     2654435761ULL);
+    probes.push_back(rng.uniform(0, cap - 1) * 2654435761ULL);
   }
   return probes;
 }

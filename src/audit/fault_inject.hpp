@@ -1,0 +1,98 @@
+// White-box fault injection for OverlayAuditor tests.
+//
+// Each injector corrupts exactly one structural invariant, bypassing the
+// protocol (it pokes HybridSystem internals directly via friendship), so
+// tests can assert that the auditor catches the corruption and names it
+// correctly -- and names *only* it.  Test-only: never linked into benches.
+#pragma once
+
+#include <algorithm>
+
+#include "hybrid/hybrid_system.hpp"
+
+namespace hp2p::hybrid {
+
+struct FaultInjector {
+  /// Points t-peer `t`'s successor at `wrong` with a *consistent* id cache,
+  /// so only ring_successor_symmetry trips (not ring_id_cache).
+  static void corrupt_successor(HybridSystem& sys, PeerIndex t,
+                                PeerIndex wrong) {
+    auto& p = sys.peer(t);
+    p.successor = wrong;
+    p.successor_id = sys.peer(wrong).pid;
+  }
+
+  /// Flips the low bit of the cached successor id; the pointer itself stays
+  /// correct, so only ring_id_cache trips.
+  static void corrupt_successor_id(HybridSystem& sys, PeerIndex t) {
+    auto& p = sys.peer(t);
+    p.successor_id = PeerId{p.successor_id.value() ^ 1};
+  }
+
+  /// Re-parents leaf s-peers of `parent`'s own s-network under `parent`
+  /// until its tree degree exceeds `target_degree`.  Same-network moves
+  /// keep pid inheritance and parent/child symmetry intact, so only
+  /// tree_degree_cap trips.  Returns false when the network has too few
+  /// movable leaves.
+  static bool overcap_degree(HybridSystem& sys, PeerIndex parent,
+                             unsigned target_degree) {
+    auto& pp = sys.peer(parent);
+    const PeerIndex root = pp.role == Role::kTPeer ? parent : pp.tpeer;
+    for (PeerIndex m : sys.snetwork_members(root)) {
+      if (sys.tree_degree(pp) > target_degree) break;
+      auto& mm = sys.peer(m);
+      if (m == parent || m == root || mm.cp == parent) continue;
+      if (!mm.children.empty() || mm.cp == kNoPeer) continue;
+      auto& old_parent = sys.peer(mm.cp);
+      std::erase(old_parent.children, m);
+      mm.cp = parent;
+      pp.children.push_back(m);
+    }
+    return sys.tree_degree(pp) > target_degree;
+  }
+
+  /// Moves one stored item from `holder` into `recipient`'s store (intended
+  /// to be in a different s-network), tripping only data_misplaced.
+  /// Returns false when `holder` has nothing to move.
+  static bool misplace_item(HybridSystem& sys, PeerIndex holder,
+                            PeerIndex recipient) {
+    auto items = sys.peer(holder).store.extract_all();
+    if (items.empty()) return false;
+    sys.peer(recipient).store.insert(std::move(items.front()));
+    for (std::size_t i = 1; i < items.size(); ++i) {
+      sys.peer(holder).store.insert(std::move(items[i]));
+    }
+    return true;
+  }
+
+  /// Fully detaches an item-holding s-peer: removed from its parent's child
+  /// list *and* cp cleared, so both symmetry directions stay consistent and
+  /// only data_orphaned (strict) trips.  Returns false when `speer` has no
+  /// parent or no items.
+  static bool orphan_stored_item(HybridSystem& sys, PeerIndex speer) {
+    auto& p = sys.peer(speer);
+    if (p.cp == kNoPeer || p.store.empty()) return false;
+    std::erase(sys.peer(p.cp).children, speer);
+    p.cp = kNoPeer;
+    return true;
+  }
+
+  /// Removes `child` from its parent's child list while the child keeps its
+  /// cp pointer -- the one-sided edge loss that trips only
+  /// tree_parent_child_symmetry.  Returns false when `child` has no parent.
+  static bool drop_tree_edge(HybridSystem& sys, PeerIndex child) {
+    auto& c = sys.peer(child);
+    if (c.cp == kNoPeer) return false;
+    std::erase(sys.peer(c.cp).children, child);
+    return true;
+  }
+
+  /// Reports a flood wave with an out-of-bound TTL straight to the
+  /// installed flood observer (as a rogue peer would), tripping only
+  /// flood_ttl_bound.
+  static void flood_with_ttl(HybridSystem& sys, PeerIndex at, unsigned ttl) {
+    if (sys.flood_observer_) sys.flood_observer_(at, ttl);
+  }
+};
+
+}  // namespace hp2p::hybrid

@@ -4,8 +4,8 @@ namespace hp2p {
 
 std::uint64_t fnv1a64(std::string_view bytes) {
   std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (unsigned char c : bytes) {
-    h ^= c;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
     h *= 0x100000001b3ULL;
   }
   return h;

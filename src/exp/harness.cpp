@@ -4,8 +4,9 @@
 #include <chrono>
 #include <iostream>
 #include <optional>
-#include <unordered_map>
 
+#include "audit/overlay_auditor.hpp"
+#include "common/env.hpp"
 #include "common/rng.hpp"
 #include "hybrid/hybrid_system.hpp"
 #include "net/transit_stub.hpp"
@@ -106,14 +107,40 @@ RunResult run_hybrid_experiment(const RunConfig& raw_config) {
       return static_cast<double>(sim.pending_events());
     });
   }
-  const auto arm_sampler = [&sampler] {
+  // Invariant auditing: explicit period from the config, or a 1 s default
+  // behind HP2P_AUDIT=1.  Periodic passes run lenient checks mid-churn; a
+  // final pass closes every phase at quiescence.  Debug builds always audit
+  // phase boundaries, so churn bugs surface in tests without any opt-in.
+  sim::Duration audit_period = config.audit_period;
+  if (audit_period == sim::Duration{} && env_or("HP2P_AUDIT", std::int64_t{0}) != 0) {
+    audit_period = sim::SimTime::seconds(1);
+  }
+#ifdef NDEBUG
+  const bool audit_phases = audit_period > sim::Duration{};
+#else
+  const bool audit_phases = true;
+#endif
+  std::optional<audit::OverlayAuditor> auditor;
+  if (audit_phases) {
+    auditor.emplace(system, network, sim);
+    if (config.flight != nullptr) auditor->set_flight_recorder(config.flight);
+    if (audit_period > sim::Duration{}) auditor->set_period(audit_period);
+  }
+
+  const auto arm_sampler = [&sampler, &auditor] {
     if (sampler) sampler->ensure_running();
+    if (auditor) auditor->ensure_running();
   };
 
   // Phase timing: host wall clock + simulated span since the last mark.
+  // Wall time is measurement output only -- it never feeds back into the
+  // simulation, so determinism is preserved.
+  // lint:allow(wallclock)
   auto wall_mark = std::chrono::steady_clock::now();
   sim::SimTime sim_mark = sim.now();
   const auto end_phase = [&](const char* name) {
+    if (auditor) auditor->run();  // quiescent(ish) audit at the boundary
+    // lint:allow(wallclock)
     const auto wall_now = std::chrono::steady_clock::now();
     PhaseTiming timing;
     timing.name = name;
@@ -250,6 +277,9 @@ RunResult run_hybrid_experiment(const RunConfig& raw_config) {
       for (std::size_t i = 0; i < n_crash && i < victims.size(); ++i) {
         system.crash(victims[i]);
       }
+      // Audit straight after the crash batch: the lenient checks must hold
+      // even in the most disturbed state of the run.
+      if (auditor) auditor->run();
     }
     arm_sampler();
     sim.run_until(sim.now() + config.recovery_time);
@@ -358,6 +388,17 @@ RunResult run_hybrid_experiment(const RunConfig& raw_config) {
   if (sampler) {
     sampler->sample_now();  // closing sample at the final sim time
     result.timeseries = sampler->take();
+  }
+  if (auditor) {
+    result.audit_runs = auditor->runs();
+    result.audit_violations = auditor->total_violations();
+    if (result.audit_violations > 0) {
+      // Loud even when the caller never exports these counters (figure-curve
+      // replicas aggregate only their plotted metrics).
+      std::cerr << "warning: overlay audit found " << result.audit_violations
+                << " violation(s): "
+                << auditor->last_failing_report().to_json().dump() << "\n";
+    }
   }
   return result;
 }

@@ -101,6 +101,13 @@ struct RunConfig {
   /// callbacks installed there); the harness dumps its tail to stderr on
   /// the first failed lookup of the run.
   stats::FlightRecorder* flight = nullptr;
+
+  /// When > 0, run a lenient OverlayAuditor pass every `audit_period` of
+  /// simulated time, plus once at the end of every phase.  Setting the
+  /// HP2P_AUDIT=1 environment variable enables the same with a 1 s period.
+  /// In debug builds (NDEBUG unset) phase-boundary audits always run.
+  /// Violations land in RunResult::audit_violations and in `flight`.
+  sim::Duration audit_period{};
 };
 
 /// How long one harness phase took, in both host and simulated time.
@@ -144,6 +151,10 @@ struct RunResult {
   sim::SimulatorStats sim_stats;
   /// Gauge samples, present when RunConfig::sample_period > 0.
   std::optional<stats::TimeSeries> timeseries;
+  /// Invariant-audit passes executed and total violations found (0 runs
+  /// when auditing was not enabled for this replica).
+  std::uint64_t audit_runs = 0;
+  std::uint64_t audit_violations = 0;
 
   /// Table 2's metric: total peers contacted across all lookups.
   [[nodiscard]] std::uint64_t connum() const {

@@ -35,6 +35,7 @@ void collect_network_stats(stats::MetricsRegistry& reg,
   reg.set(joined(prefix, "messages_delivered"), s.messages_delivered);
   reg.set(joined(prefix, "messages_dropped"), s.messages_dropped);
   reg.set(joined(prefix, "messages_lost"), s.messages_lost);
+  reg.set(joined(prefix, "messages_in_flight"), s.messages_in_flight);
   reg.set(joined(prefix, "bytes_sent"), s.bytes_sent);
   for (std::size_t i = 0; i < proto::kNumTrafficClasses; ++i) {
     const auto cls = static_cast<proto::TrafficClass>(i);
@@ -115,6 +116,8 @@ void collect_run_result(stats::MetricsRegistry& reg, const std::string& prefix,
   reg.set(joined(prefix, "mean_link_stress"), r.mean_link_stress);
   reg.set(joined(prefix, "mean_tpeer_traffic"), r.mean_tpeer_traffic);
   reg.set(joined(prefix, "mean_speer_traffic"), r.mean_speer_traffic);
+  reg.set(joined(prefix, "audit.runs"), r.audit_runs);
+  reg.set(joined(prefix, "audit.violations"), r.audit_violations);
 }
 
 }  // namespace hp2p::exp

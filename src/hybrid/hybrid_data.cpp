@@ -69,7 +69,9 @@ void HybridSystem::store_id(PeerIndex from, DataId id, const std::string& key,
       net_.send(from, to, TrafficClass::kData, proto::kDataBytes, st,
                 [this, to, id, item = std::move(item),
                  done = std::move(done)]() mutable {
-                  peer(to).store.insert(std::move(item));
+                  // A stale link (segment moved since install) forwards on
+                  // to the current owner instead of stranding the item.
+                  insert_or_rehome(to, std::move(item));
                   if (params_.style == SNetworkStyle::kBitTorrent) {
                     const PeerIndex tracker = peer(to).tpeer;
                     peer(tracker).tracker_index[id] = to;
@@ -222,7 +224,9 @@ void HybridSystem::spread_item(PeerIndex at, proto::DataItem item,
   const std::size_t pick = rng_.index(options);
   if (pick == 0 || p.children.empty()) {
     const PeerIndex origin = item.origin;
-    p.store.insert(std::move(item));
+    // Normally a local insert; if the segment split while the spread was in
+    // flight, the item is forwarded on to the new owner instead.
+    insert_or_rehome(at, std::move(item));
     if (params_.bypass_links && peer(origin).tpeer != p.tpeer) {
       maybe_add_bypass(origin, at);
     }
@@ -234,6 +238,57 @@ void HybridSystem::spread_item(PeerIndex at, proto::DataItem item,
             [this, next, item = std::move(item), done = std::move(done)]() mutable {
               spread_item(next, std::move(item), std::move(done));
             });
+}
+
+void HybridSystem::route_and_place(PeerIndex from, proto::DataItem item) {
+  // The item travels by value through the closures below; if the upward
+  // path is dead we fall back to keeping it at `from` -- a misplaced copy
+  // beats a lost one, and the next churn transfer gets another chance.
+  auto boxed = std::make_shared<proto::DataItem>(std::move(item));
+  forward_up_to_tpeer(
+      from, proto::kDataBytes, TrafficClass::kData,
+      [this, boxed](PeerIndex root, std::uint32_t hops) {
+        route_ring(root, boxed->id.value(), hops, 0, TrafficClass::kData,
+                   proto::kDataBytes,
+                   [this, boxed](PeerIndex owner, std::uint32_t,
+                                 std::uint32_t) {
+                     place_item(owner, std::move(*boxed), {});
+                   });
+      },
+      0,
+      [this, from, boxed] { peer(from).store.insert(std::move(*boxed)); });
+}
+
+void HybridSystem::insert_or_rehome(PeerIndex at, proto::DataItem item) {
+  Peer& p = peer(at);
+  // Tracker mode keeps items wherever the tracker indexed them; re-homing
+  // would silently invalidate the index.
+  if (params_.style == SNetworkStyle::kBitTorrent) {
+    p.store.insert(std::move(item));
+    return;
+  }
+  // Segment unknown (root unresolved / mid-join): keep the item here rather
+  // than bouncing it through a half-built topology.
+  const PeerIndex root = p.tpeer;
+  if (root == kNoPeer || !peer(root).joined || in_local_segment(p, item.id)) {
+    p.store.insert(std::move(item));
+    return;
+  }
+  route_and_place(at, std::move(item));
+}
+
+void HybridSystem::rehome_foreign_items(PeerIndex at) {
+  Peer& p = peer(at);
+  const PeerIndex root = p.tpeer;
+  if (p.store.empty() || root == kNoPeer) return;
+  const Peer& t = peer(root);
+  if (!t.joined) return;
+  // The local segment is (pred, pid]; its ring complement is (pid, pred].
+  // extract_arc(a == a) would take everything, so a full-circle segment
+  // (single t-peer ring) has no foreign items by definition.
+  if (t.predecessor_id == t.pid) return;
+  auto foreign = p.store.extract_arc(t.pid, t.predecessor_id);
+  for (auto& item : foreign) route_and_place(at, std::move(item));
 }
 
 // --- Bypass links (Section 5.4) ----------------------------------------------------
@@ -478,6 +533,7 @@ void HybridSystem::search_snetwork(PeerIndex at, PeerIndex from,
 
 void HybridSystem::walk(PeerIndex at, std::uint64_t qid, unsigned ttl,
                         std::uint32_t hops) {
+  if (flood_observer_) flood_observer_(at, ttl);
   if (ttl == 0) {
     net_.note_drop(at, proto::DropReason::kTtlExhausted, TrafficClass::kQuery,
                    query_trace(qid));
@@ -505,6 +561,7 @@ void HybridSystem::walk(PeerIndex at, std::uint64_t qid, unsigned ttl,
 
 void HybridSystem::flood(PeerIndex at, PeerIndex from, std::uint64_t qid,
                          unsigned ttl, std::uint32_t hops) {
+  if (flood_observer_) flood_observer_(at, ttl);
   if (ttl == 0) {
     net_.note_drop(at, proto::DropReason::kTtlExhausted, TrafficClass::kQuery,
                    query_trace(qid));
@@ -708,6 +765,7 @@ void HybridSystem::keyword_ring_walk(PeerIndex at, PeerIndex stop_at,
 
 void HybridSystem::keyword_flood(PeerIndex at, PeerIndex from,
                                  std::uint64_t qid, unsigned ttl) {
+  if (flood_observer_) flood_observer_(at, ttl);
   if (ttl == 0) return;
   for (PeerIndex n : snetwork_neighbors(peer(at))) {
     if (n == from) continue;

@@ -370,7 +370,7 @@ void HybridSystem::run_join_triangle(PeerIndex pre, PendingJoin req) {
                   proto::kDataBytes * static_cast<std::uint32_t>(items.size()),
                   [this, joiner, items = std::move(items)]() mutable {
                     for (auto& item : items) {
-                      peer(joiner).store.insert(std::move(item));
+                      insert_or_rehome(joiner, std::move(item));
                     }
                   });
       }
@@ -492,6 +492,10 @@ void HybridSystem::descend_sjoin(PeerIndex at, PeerIndex joiner,
               n.tpeer = root;
               n.pid = peer(root).pid;  // s-peers share the t-peer's p_id
               n.joined = true;
+              // A rejoining orphan may have been assigned a different
+              // s-network than the one whose segment its items belong to;
+              // send those back to their responsible t-peer.
+              rehome_foreign_items(joiner);
               // A rejoining orphan brings its subtree along; everyone below
               // must learn the (possibly new) root.
               std::vector<PeerIndex> frontier = n.children;
@@ -503,6 +507,7 @@ void HybridSystem::descend_sjoin(PeerIndex at, PeerIndex joiner,
                               Peer& mm = peer(m);
                               mm.tpeer = root;
                               mm.pid = peer(root).pid;
+                              rehome_foreign_items(m);
                             });
                   for (PeerIndex c : peer(m).children) next_level.push_back(c);
                 }
@@ -558,7 +563,7 @@ void HybridSystem::speer_leave(PeerIndex leaving) {
     net_.send(leaving, heir, TrafficClass::kData,
               proto::kDataBytes * static_cast<std::uint32_t>(items.size()),
               [this, heir, items = std::move(items)]() mutable {
-                for (auto& item : items) peer(heir).store.insert(std::move(item));
+                for (auto& item : items) insert_or_rehome(heir, std::move(item));
               });
   }
   detach_from_tree(leaving, /*notify_children=*/true);
@@ -740,7 +745,7 @@ void HybridSystem::promote_speer(PeerIndex heir, PeerIndex old_t,
       net_.send(old_t, heir, TrafficClass::kData,
                 proto::kDataBytes * static_cast<std::uint32_t>(items.size()),
                 [this, heir, items = std::move(items)]() mutable {
-                  for (auto& item : items) peer(heir).store.insert(std::move(item));
+                  for (auto& item : items) insert_or_rehome(heir, std::move(item));
                 });
     }
     // Pending join requests and the tracker index (BitTorrent-style
@@ -857,7 +862,7 @@ void HybridSystem::ring_leave_step2(PeerIndex pre, PeerIndex suc,
                                   static_cast<std::uint32_t>(items.size()),
                               [this, suc, items = std::move(items)]() mutable {
                                 for (auto& item : items) {
-                                  peer(suc).store.insert(std::move(item));
+                                  insert_or_rehome(suc, std::move(item));
                                 }
                               });
                   }

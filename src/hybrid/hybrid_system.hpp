@@ -129,6 +129,37 @@ class HybridSystem {
   }
   [[nodiscard]] PeerIndex tpeer_of(PeerIndex p) const { return peer(p).tpeer; }
   [[nodiscard]] PeerIndex parent_of(PeerIndex p) const { return peer(p).cp; }
+  [[nodiscard]] PeerIndex successor_of(PeerIndex p) const {
+    return peer(p).successor;
+  }
+  [[nodiscard]] PeerId successor_id_of(PeerIndex p) const {
+    return peer(p).successor_id;
+  }
+  [[nodiscard]] PeerIndex predecessor_of(PeerIndex p) const {
+    return peer(p).predecessor;
+  }
+  [[nodiscard]] PeerId predecessor_id_of(PeerIndex p) const {
+    return peer(p).predecessor_id;
+  }
+  [[nodiscard]] const chord::FingerTable& fingers_of(PeerIndex p) const {
+    return peer(p).fingers;
+  }
+  /// Mid-join / mid-leave flags (Section 3.3 mutexes).  The auditor uses
+  /// them to tell transient protocol states from genuine corruption.
+  [[nodiscard]] bool is_joining(PeerIndex p) const {
+    return peer(p).joining_mutex;
+  }
+  [[nodiscard]] bool is_leaving(PeerIndex p) const {
+    return peer(p).leaving_mutex;
+  }
+  [[nodiscard]] bool is_server_peer(PeerIndex p) const {
+    return peer(p).is_server;
+  }
+  /// Server-side ring registry (pid -> t-peer), the ground truth for
+  /// segment-responsibility checks.
+  [[nodiscard]] const std::map<std::uint64_t, PeerIndex>& registry() const {
+    return registry_;
+  }
   [[nodiscard]] const std::vector<PeerIndex>& children_of(PeerIndex p) const {
     return peer(p).children;
   }
@@ -207,7 +238,15 @@ class HybridSystem {
   /// Lookups currently in flight (issued, neither answered nor timed out).
   [[nodiscard]] std::size_t pending_lookups() const { return queries_.size(); }
 
+  /// Called with (peer, ttl) each time a flood/walk wave starts at `peer`
+  /// with `ttl` hops left.  The auditor uses it to bound in-flight TTLs.
+  using FloodObserver = std::function<void(PeerIndex, unsigned)>;
+  void set_flood_observer(FloodObserver fn) { flood_observer_ = std::move(fn); }
+
  private:
+  /// Test-only white-box corruption hooks (src/audit/fault_inject.hpp).
+  friend struct FaultInjector;
+
   // --- Internal state ---------------------------------------------------------
 
   struct BypassLink {
@@ -375,6 +414,16 @@ class HybridSystem {
                   stats::TraceContext ctx = {});
   void place_item(PeerIndex at, proto::DataItem item, StoreCallback done);
   void spread_item(PeerIndex at, proto::DataItem item, StoreCallback done);
+  /// Routes `item` from `from` to the responsible t-peer's s-network
+  /// (cp-chain climb + ring forwarding + place_item).  Used to re-home
+  /// items that ended up outside their segment after churn.
+  void route_and_place(PeerIndex from, proto::DataItem item);
+  /// Inserts locally when `at` is (or can't determine) the responsible
+  /// s-network; otherwise forwards via route_and_place.
+  void insert_or_rehome(PeerIndex at, proto::DataItem item);
+  /// Re-homes every stored item at `at` that falls outside its s-network's
+  /// segment (called after `at` lands in a possibly different s-network).
+  void rehome_foreign_items(PeerIndex at);
 
   /// Dispatches to flood() or random walks per params_.s_search.
   void search_snetwork(PeerIndex at, PeerIndex from, std::uint64_t qid,
@@ -443,6 +492,7 @@ class HybridSystem {
   std::uint64_t bypass_uses_ = 0;
   std::uint64_t cache_hits_ = 0;
   stats::SpanRecorder* tracer_ = nullptr;
+  FloodObserver flood_observer_;
 
   /// In-flight keyword searches.
   struct KeywordQuery {

@@ -6,9 +6,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/hashing.hpp"
@@ -25,8 +25,11 @@ struct DataItem {
   PeerIndex origin = kNoPeer;  // peer that generated the item
 };
 
-/// Hash-indexed store; lookup by d_id is O(1).  Distinct keys colliding on
+/// Id-indexed store; lookup by d_id is O(log n).  Distinct keys colliding on
 /// the same d_id are all kept (chained), matching hash-table semantics.
+/// Ordered by d_id so for_each()/extract_*() enumerate deterministically --
+/// their output feeds keyword results and load transfers on the sim path,
+/// where unordered iteration would leak the allocator's layout into runs.
 class DataStore {
  public:
   void insert(DataItem item) {
@@ -71,7 +74,7 @@ class DataStore {
   }
 
  private:
-  std::unordered_map<DataId, std::vector<DataItem>> items_;
+  std::map<DataId, std::vector<DataItem>> items_;
   std::size_t size_ = 0;
 };
 

@@ -69,6 +69,7 @@ void OverlayNetwork::send(PeerIndex from, PeerIndex to, TrafficClass cls,
     return;
   }
   ++stats_.messages_sent;
+  ++stats_.messages_in_flight;
   ++sent_by_[from.value()];
   stats_.bytes_sent += bytes;
   ++stats_.per_class_messages[static_cast<std::size_t>(cls)];
@@ -92,6 +93,7 @@ void OverlayNetwork::send(PeerIndex from, PeerIndex to, TrafficClass cls,
   simulator_.schedule_after(
       delay, [this, from, to, cls, bytes, msg_span,
               deliver = std::move(deliver)]() {
+        --stats_.messages_in_flight;
         if (!alive(to)) {
           ++stats_.messages_dropped;
           ++stats_.drops_by_reason[static_cast<std::size_t>(

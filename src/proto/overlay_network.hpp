@@ -67,6 +67,10 @@ struct NetworkStats {
   std::uint64_t messages_delivered = 0;
   std::uint64_t messages_dropped = 0;  // receiver dead at delivery time
   std::uint64_t messages_lost = 0;     // random in-transit loss
+  /// Sent but fate undecided (still propagating).  At any instant
+  /// sent == delivered + dead-receiver drops + in_flight -- the conservation
+  /// law the OverlayAuditor asserts.
+  std::uint64_t messages_in_flight = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t per_class_messages[kNumTrafficClasses] = {};
   std::uint64_t per_class_bytes[kNumTrafficClasses] = {};

@@ -83,6 +83,21 @@ class Simulator {
   /// Number of live (not yet fired, not cancelled) events.
   [[nodiscard]] std::size_t pending_events() const { return pending_.size(); }
 
+  /// Periodic housekeeping devices (gauge samplers, invariant auditors)
+  /// count their armed tick as a *daemon* event: daemons re-arm only while
+  /// pending_work() > 0, so two of them cannot keep each other -- and the
+  /// run() loop -- alive after real work drains.  A device calls
+  /// note_daemon_armed() when scheduling its tick and note_daemon_disarmed()
+  /// when the tick fires (or is cancelled).
+  void note_daemon_armed() { ++daemon_events_; }
+  void note_daemon_disarmed() { --daemon_events_; }
+
+  /// Live events that are not armed daemon ticks: the work that justifies
+  /// keeping periodic housekeeping running.
+  [[nodiscard]] std::size_t pending_work() const {
+    return pending_.size() - daemon_events_;
+  }
+
   /// Runs a single event; returns false when the queue is empty.
   bool step();
 
@@ -127,6 +142,7 @@ class Simulator {
 
   SimTime now_{};
   std::uint64_t next_seq_ = 1;
+  std::size_t daemon_events_ = 0;
   std::priority_queue<HeapItem, std::vector<HeapItem>, Later> heap_;
   std::unordered_map<std::uint64_t, Pending> pending_;  // live events by seq
   SimulatorStats stats_;

@@ -2,6 +2,13 @@
 
 #include <utility>
 
+// gcc 12 (-O2) misfires -Wmaybe-uninitialized inside std::variant's move
+// visitor when JsonValue vectors reallocate (GCC bug 101831 family); the
+// values are always constructed before the flagged reads.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
 namespace hp2p::stats {
 
 JsonValue TimeSeries::to_json() const {
@@ -41,18 +48,27 @@ void TimeSeriesSampler::sample_now() {
   }
 }
 
+TimeSeriesSampler::~TimeSeriesSampler() {
+  if (!armed_) return;
+  sim_.cancel(tick_id_);
+  sim_.note_daemon_disarmed();
+}
+
 void TimeSeriesSampler::ensure_running() {
   if (armed_) return;
   armed_ = true;
-  sim_.schedule_after(period_, [this] { tick(); });
+  sim_.note_daemon_armed();
+  tick_id_ = sim_.schedule_after(period_, [this] { tick(); });
 }
 
 void TimeSeriesSampler::tick() {
   armed_ = false;
+  sim_.note_daemon_disarmed();
   sample_now();
-  // Re-arm only while real work remains: a lone self-rescheduling tick
-  // would keep sim.run() from ever draining.
-  if (sim_.pending_events() > 0) ensure_running();
+  // Re-arm only while real (non-daemon) work remains: self-rescheduling
+  // ticks would otherwise keep sim.run() from ever draining -- including by
+  // keeping *each other* alive when several periodic devices are installed.
+  if (sim_.pending_work() > 0) ensure_running();
 }
 
 TimeSeries TimeSeriesSampler::take() {

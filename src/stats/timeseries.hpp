@@ -44,6 +44,11 @@ class TimeSeriesSampler {
  public:
   TimeSeriesSampler(sim::Simulator& sim, sim::Duration period,
                     std::string name = "timeseries");
+  /// Cancels a still-armed tick (the tick lambda captures `this`).
+  ~TimeSeriesSampler();
+
+  TimeSeriesSampler(const TimeSeriesSampler&) = delete;
+  TimeSeriesSampler& operator=(const TimeSeriesSampler&) = delete;
 
   /// Registers a gauge; must happen before the first sample.
   void add_gauge(std::string name, std::function<double()> fn);
@@ -66,6 +71,7 @@ class TimeSeriesSampler {
   sim::Simulator& sim_;
   sim::Duration period_;
   bool armed_ = false;
+  sim::TimerId tick_id_;
   std::vector<std::function<double()>> gauges_;
   TimeSeries series_;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <map>
 
 #include "stats/histogram.hpp"
 #include "stats/metrics.hpp"
@@ -93,7 +94,8 @@ std::vector<const Span*> SpanRecorder::trace(std::uint64_t trace_id) const {
 
 std::vector<LookupBreakdown> SpanRecorder::lookup_breakdowns() const {
   // One pass: breakdowns keyed by trace id, created at the lookup root.
-  std::unordered_map<std::uint64_t, LookupBreakdown> by_trace;
+  // Ordered map: iteration below feeds the exported vector directly.
+  std::map<std::uint64_t, LookupBreakdown> by_trace;
   for (const Span& s : spans_) {
     if (s.parent == 0 && std::string_view{s.category} == "lookup") {
       LookupBreakdown b;

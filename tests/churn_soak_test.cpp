@@ -5,9 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <iostream>
+#include <optional>
 #include <set>
 #include <vector>
 
+#include "audit/overlay_auditor.hpp"
+#include "common/env.hpp"
 #include "exp/harness.hpp"
 #include "hybrid/hybrid_system.hpp"
 #include "stats/flight_recorder.hpp"
@@ -42,6 +45,18 @@ TEST_P(ChurnSoak, SystemSurvivesSustainedChurn) {
   stats::FlightRecorder flight{512};
   exp::attach_flight_recorder(flight, world.sim, *world.network);
 
+  // HP2P_AUDIT=1: lenient invariant audits every simulated second across
+  // the whole soak -- any violation under churn is real corruption.
+  std::optional<audit::OverlayAuditor> auditor;
+  if (env_or("HP2P_AUDIT", std::int64_t{0}) != 0) {
+    auditor.emplace(system, *world.network, world.sim);
+    auditor->set_period(sim::SimTime::seconds(1));
+    auditor->set_flight_recorder(&flight);
+  }
+  const auto arm_audit = [&auditor] {
+    if (auditor) auditor->ensure_running();
+  };
+
   // Build 60 peers.
   std::vector<PeerIndex> peers;
   const auto n_t = static_cast<std::size_t>(
@@ -55,6 +70,7 @@ TEST_P(ChurnSoak, SystemSurvivesSustainedChurn) {
               system.add_peer_with_role(world.next_host(), role, {}));
         });
   }
+  arm_audit();
   world.sim.run();
   ASSERT_TRUE(system.verify_ring());
 
@@ -65,6 +81,7 @@ TEST_P(ChurnSoak, SystemSurvivesSustainedChurn) {
     system.store_id(peers[op.index(peers.size())], item.id, item.key,
                     item.value);
   }
+  arm_audit();
   world.sim.run();
   system.start_failure_detection();
 
@@ -102,6 +119,7 @@ TEST_P(ChurnSoak, SystemSurvivesSustainedChurn) {
         });
   }
   // Let the churn play out and the detectors repair everything.
+  arm_audit();
   world.sim.run_until(world.sim.now() + sim::SimTime::seconds(60));
 
   EXPECT_GT(joins + leaves + crashes, 25u) << "churn did not execute";
@@ -126,6 +144,7 @@ TEST_P(ChurnSoak, SystemSurvivesSustainedChurn) {
                      [&](proto::LookupResult r) { failures += !r.success; });
     ++issued;
   }
+  arm_audit();
   world.sim.run_until(world.sim.now() + sim::SimTime::seconds(40));
   EXPECT_GT(issued, 0);
   // A small tolerance: lookups racing a concurrent rejoin can miss.
@@ -134,6 +153,12 @@ TEST_P(ChurnSoak, SystemSurvivesSustainedChurn) {
   }
   EXPECT_LE(failures, issued / 20)
       << failures << "/" << issued << " surviving items unreachable";
+
+  if (auditor) {
+    EXPECT_GT(auditor->runs(), 0u);
+    EXPECT_EQ(auditor->total_violations(), 0u)
+        << auditor->last_failing_report().to_json().dump(2);
+  }
 
   // The recorder ran the whole soak and stayed bounded.
   EXPECT_GT(flight.total_recorded(), flight.capacity());

@@ -52,7 +52,9 @@ TEST(Gnutella, DataStaysAtGeneratingPeer) {
   g.store(peers[2], "file.txt", 42);
   EXPECT_EQ(g.store_of(peers[2]).size(), 1u);
   for (const auto p : peers) {
-    if (p != peers[2]) EXPECT_EQ(g.store_of(p).size(), 0u);
+    if (p != peers[2]) {
+      EXPECT_EQ(g.store_of(p).size(), 0u);
+    }
   }
 }
 

@@ -1250,7 +1250,8 @@ TEST(Hybrid, KeywordSearchFindsMatchesInOwnSNetwork) {
   int planted = 0;
   for (std::size_t i = 0; i < members.size() && planted < 3; ++i, ++planted) {
     const auto [lo, hi] = f.system.segment_of(f.system.tpeer_of(origin));
-    const DataId id{ring::midpoint_cw(lo.value(), hi.value()) + planted};
+    const DataId id{ring::midpoint_cw(lo.value(), hi.value()) +
+                    static_cast<std::uint64_t>(planted)};
     f.system.store_id(members[i], id,
                       "holiday-video-" + std::to_string(planted), 1);
   }

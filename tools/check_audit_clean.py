@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Validates audit metrics in a BENCH_*.json report.
+
+Asserts that every `*audit.violations` metric is zero and that at least one
+`*audit.runs` metric is positive -- i.e. the invariant auditor actually ran
+during the benchmark and found the overlay clean.  Used as a ctest fixture
+on the HP2P_AUDIT=1 trace smoke run.
+
+Usage: check_audit_clean.py BENCH_file.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def flatten(prefix: str, value, out: dict) -> None:
+    if isinstance(value, dict):
+        for k, v in value.items():
+            flatten(f"{prefix}.{k}" if prefix else k, v, out)
+    else:
+        out[prefix] = value
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__)
+        return 2
+    with open(argv[1], encoding="utf-8") as f:
+        doc = json.load(f)
+    flat: dict = {}
+    flatten("", doc, flat)
+    runs = {k: v for k, v in flat.items() if k.endswith("audit.runs")}
+    violations = {
+        k: v for k, v in flat.items() if k.endswith("audit.violations")
+    }
+    ok = True
+    if not runs:
+        print("FAIL: no audit.runs metrics found (auditor never wired in?)")
+        ok = False
+    elif not any(v > 0 for v in runs.values()):
+        print(f"FAIL: auditor never ran: {runs}")
+        ok = False
+    for key, value in sorted(violations.items()):
+        if value != 0:
+            print(f"FAIL: {key} = {value} (expected 0)")
+            ok = False
+    if ok:
+        total = sum(int(v) for v in runs.values())
+        print(f"audit clean: {total} pass(es), 0 violations ({argv[1]})")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Determinism lint for the hp2p simulation sources.
+
+Simulation runs must be pure functions of (config, seed).  This lint rejects
+the constructs that historically break that:
+
+  unordered-iter   Iteration over a std::unordered_map/unordered_set
+                   variable (range-for or explicit .begin()).  Iteration
+                   order depends on hashing/allocation, so any loop that
+                   feeds RNG draws, event scheduling, or exported metrics
+                   from one leaks the allocator's layout into the run.
+                   Use std::map/std::set or sort a snapshot.
+  std-rand         std::rand / srand / random_shuffle: global hidden state,
+                   unseeded by the run config.  Use hp2p::Rng.
+  wallclock        Wall-clock reads (std::chrono system/steady/high-res
+                   clocks, time(), gettimeofday): host time must never steer
+                   sim behaviour.  Use sim::Simulator::now().
+  addr-ordered     std::map/std::set keyed by raw pointer: ordering follows
+                   allocation addresses, which differ run to run.
+
+Escape hatch: a finding is suppressed when the same line or the line above
+carries  // lint:allow(<rule>)  (e.g. measurement-only wall-clock reads).
+
+Usage: lint_determinism.py <dir-or-file>...   (exit 1 when findings remain)
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+SOURCE_SUFFIXES = {".cpp", ".hpp", ".cc", ".hh", ".h"}
+
+UNORDERED_DECL = re.compile(
+    r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;]*?>\s+(\w+)\s*[;{=(]"
+)
+
+# rule name -> (regex, message)
+PATTERN_RULES = {
+    "std-rand": (
+        re.compile(r"std::rand\b|\bsrand\s*\(|std::random_shuffle\b"),
+        "global C RNG / random_shuffle; use hp2p::Rng",
+    ),
+    "wallclock": (
+        re.compile(
+            r"std::chrono::(?:system_clock|steady_clock|high_resolution_clock)"
+            r"|\bgettimeofday\s*\("
+            r"|\btime\s*\(\s*(?:NULL|nullptr|0)\s*\)"
+        ),
+        "wall-clock read in sim code; use sim::Simulator::now()",
+    ),
+    "addr-ordered": (
+        re.compile(r"std::(?:map|set)\s*<\s*(?:const\s+)?\w[\w:]*\s*\*"),
+        "pointer-keyed ordered container; ordering follows allocation",
+    ),
+}
+
+ALLOW = re.compile(r"//\s*lint:allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+
+def strip_strings(line: str) -> str:
+    """Blank out string/char literals so their contents can't match rules."""
+    out = []
+    quote = None
+    prev = ""
+    for ch in line:
+        if quote:
+            out.append("_")
+            if ch == quote and prev != "\\":
+                quote = None
+            prev = "" if prev == "\\" else ch
+        elif ch in "\"'":
+            quote = ch
+            out.append(ch)
+            prev = ch
+        else:
+            out.append(ch)
+            prev = ch
+    return "".join(out)
+
+
+def allowed_rules(lines: list[str], idx: int) -> set[str]:
+    rules: set[str] = set()
+    for i in (idx, idx - 1):
+        if 0 <= i < len(lines):
+            m = ALLOW.search(lines[i])
+            if m:
+                rules.update(r.strip() for r in m.group(1).split(","))
+    return rules
+
+
+def collect_unordered_names(text: str) -> set[str]:
+    return set(UNORDERED_DECL.findall(text))
+
+
+def lint_file(path: Path) -> list[tuple[Path, int, str, str]]:
+    text = path.read_text(encoding="utf-8", errors="replace")
+    lines = text.splitlines()
+    findings = []
+    names = collect_unordered_names(text)
+    iter_res = []
+    if names:
+        alt = "|".join(re.escape(n) for n in sorted(names))
+        # range-for over the container (with optional member/deref prefix)
+        iter_res.append(
+            re.compile(
+                r"for\s*\([^;()]*?:\s*[\w.\->*]*\b(?:%s)\b\s*\)" % alt
+            )
+        )
+        # explicit iterator walk
+        iter_res.append(re.compile(r"\b(?:%s)\b\s*\.\s*begin\s*\(" % alt))
+    in_block_comment = False
+    for idx, raw in enumerate(lines):
+        line = raw
+        # Cheap comment stripping: enough for lint purposes.
+        if in_block_comment:
+            end = line.find("*/")
+            if end < 0:
+                continue
+            line = line[end + 2:]
+            in_block_comment = False
+        start = line.find("/*")
+        if start >= 0 and line.find("*/", start) < 0:
+            in_block_comment = True
+            line = line[:start]
+        code = strip_strings(line).split("//")[0]
+        if not code.strip():
+            continue
+        allowed = allowed_rules(lines, idx)
+        for rule, (rx, msg) in PATTERN_RULES.items():
+            if rx.search(code) and rule not in allowed:
+                findings.append((path, idx + 1, rule, msg))
+        if "unordered-iter" not in allowed:
+            for rx in iter_res:
+                if rx.search(code):
+                    findings.append(
+                        (
+                            path,
+                            idx + 1,
+                            "unordered-iter",
+                            "iteration over unordered container "
+                            "(nondeterministic order)",
+                        )
+                    )
+                    break
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    files: list[Path] = []
+    for arg in argv[1:]:
+        p = Path(arg)
+        if p.is_dir():
+            files.extend(
+                f for f in sorted(p.rglob("*")) if f.suffix in SOURCE_SUFFIXES
+            )
+        elif p.exists():
+            files.append(p)
+        else:
+            print(f"lint_determinism: no such path: {p}", file=sys.stderr)
+            return 2
+    all_findings = []
+    for f in files:
+        all_findings.extend(lint_file(f))
+    for path, lineno, rule, msg in all_findings:
+        print(f"{path}:{lineno}: [{rule}] {msg}")
+    if all_findings:
+        print(
+            f"lint_determinism: {len(all_findings)} finding(s) in "
+            f"{len(files)} file(s); suppress intentional uses with "
+            "// lint:allow(<rule>)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"lint_determinism: clean ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
