@@ -1,0 +1,157 @@
+#include "chaos/fault_engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace hp2p::chaos {
+
+using proto::TrafficClass;
+
+FaultScheduleEngine::FaultScheduleEngine(sim::Simulator& sim,
+                                         proto::OverlayNetwork& net,
+                                         hybrid::HybridSystem& system,
+                                         FaultSchedule schedule,
+                                         stats::FlightRecorder* flight)
+    : sim_(sim), net_(net), system_(system), schedule_(std::move(schedule)),
+      flight_(flight), rng_(schedule_.seed) {}
+
+std::uint32_t FaultScheduleEngine::domain_of(PeerIndex peer) const {
+  const auto& topo = net_.underlay().topology();
+  return topo.domain[net_.host_of(peer).value()];
+}
+
+void FaultScheduleEngine::arm(std::function<HostIndex()> host_source) {
+  host_source_ = std::move(host_source);
+  net_.set_fault([this](PeerIndex from, PeerIndex to, TrafficClass cls,
+                        std::uint32_t bytes) {
+    return on_message(from, to, cls, bytes);
+  });
+  for (std::size_t i = 0; i < schedule_.phases.size(); ++i) {
+    const FaultPhase& phase = schedule_.phases[i];
+    if (flight_ != nullptr) {
+      flight_->record(phase.start, "chaos_phase", i,
+                      static_cast<std::uint64_t>(phase.kind), phase.count);
+    }
+    const bool crash = phase.kind == FaultKind::kTPeerCrashStorm ||
+                       phase.kind == FaultKind::kSPeerCrashStorm;
+    const bool join = phase.kind == FaultKind::kJoinFlashCrowd;
+    if (!crash && !join) continue;
+    // Spread the `count` membership events evenly across the phase.
+    const std::uint32_t n = std::max<std::uint32_t>(phase.count, 1);
+    for (std::uint32_t k = 0; k < n; ++k) {
+      const auto offset = sim::SimTime::micros(
+          phase.duration.as_micros() * k / n);
+      sim_.schedule_at(phase.start + offset, [this, i, crash] {
+        const FaultPhase& p = schedule_.phases[i];
+        if (crash) {
+          apply_crash(p, i);
+        } else {
+          apply_join(p, i);
+        }
+      });
+    }
+  }
+}
+
+void FaultScheduleEngine::disarm() { net_.set_fault({}); }
+
+proto::FaultAction FaultScheduleEngine::on_message(PeerIndex from,
+                                                   PeerIndex to,
+                                                   TrafficClass cls,
+                                                   std::uint32_t bytes) {
+  proto::FaultAction action;
+  const sim::SimTime now = sim_.now();
+  for (const FaultPhase& p : schedule_.phases) {
+    if (now < p.start || p.end() <= now) continue;
+    switch (p.kind) {
+      case FaultKind::kLossBurst:
+        if ((cls != TrafficClass::kControl || p.affect_control) &&
+            rng_.chance(p.intensity)) {
+          action.drop = true;
+        }
+        break;
+      case FaultKind::kLatencyStorm: {
+        const auto base = net_.hop_latency(from, to, bytes);
+        action.extra_delay += sim::SimTime::micros(static_cast<std::int64_t>(
+            static_cast<double>(base.as_micros()) * p.intensity));
+        break;
+      }
+      case FaultKind::kPartition: {
+        const bool from_low = domain_of(from) < p.param;
+        const bool to_low = domain_of(to) < p.param;
+        const bool crosses =
+            (from_low && !to_low) || (p.symmetric && !from_low && to_low);
+        if (!crosses) break;
+        if (cls == TrafficClass::kControl) {
+          // Control transfer is modeled reliable (retransmitted until the
+          // partition heals): park the message until just past phase end.
+          action.extra_delay += p.end() - now + sim::SimTime::millis(1);
+        } else {
+          action.drop = true;
+        }
+        break;
+      }
+      case FaultKind::kStaleHello:
+        if (cls == TrafficClass::kHeartbeat) {
+          action.extra_delay +=
+              sim::SimTime::millis(static_cast<std::int64_t>(p.param));
+        }
+        break;
+      case FaultKind::kTPeerCrashStorm:
+      case FaultKind::kSPeerCrashStorm:
+      case FaultKind::kJoinFlashCrowd:
+      case FaultKind::kCount_:
+        break;
+    }
+    if (action.drop) break;
+  }
+  dropped_ += action.drop ? 1u : 0u;
+  delayed_ += (!action.drop && action.extra_delay > sim::SimTime{}) ? 1u : 0u;
+  return action;
+}
+
+void FaultScheduleEngine::apply_crash(const FaultPhase& phase,
+                                      std::size_t phase_idx) {
+  const bool want_tpeer = phase.kind == FaultKind::kTPeerCrashStorm;
+  std::vector<PeerIndex> candidates;
+  std::size_t live_tpeers = 0;
+  for (std::uint32_t i = 0; i < system_.num_peers(); ++i) {
+    const PeerIndex p{i};
+    if (system_.is_server_peer(p) || !system_.is_alive(p) ||
+        !system_.is_joined(p)) {
+      continue;
+    }
+    const bool is_t = system_.role_of(p) == hybrid::Role::kTPeer;
+    live_tpeers += is_t ? 1 : 0;
+    if (is_t == want_tpeer) candidates.push_back(p);
+  }
+  if (candidates.empty()) return;
+  const PeerIndex victim = candidates[rng_.index(candidates.size())];
+  if (want_tpeer) {
+    // Keep the system recoverable: a t-peer may only crash while another
+    // t-peer survives or its own s-network has members to compete for the
+    // slot.
+    const bool has_orphans = system_.snetwork_members(victim).size() > 1;
+    if (live_tpeers <= 1 && !has_orphans) return;
+  }
+  ++crashes_applied_;
+  if (flight_ != nullptr) {
+    flight_->record(sim_.now(), "chaos_crash", victim.value(),
+                    want_tpeer ? 1 : 0, phase_idx);
+  }
+  system_.crash(victim);
+}
+
+void FaultScheduleEngine::apply_join(const FaultPhase& phase,
+                                     std::size_t phase_idx) {
+  if (!host_source_) return;
+  ++joins_applied_;
+  const PeerIndex joiner =
+      system_.add_peer_with_role(host_source_(), hybrid::Role::kSPeer);
+  if (flight_ != nullptr) {
+    flight_->record(sim_.now(), "chaos_join", joiner.value(), 0, phase_idx);
+  }
+  (void)phase;
+}
+
+}  // namespace hp2p::chaos

@@ -1,0 +1,168 @@
+#include "chaos/fault_schedule.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace hp2p::chaos {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLossBurst: return "loss_burst";
+    case FaultKind::kLatencyStorm: return "latency_storm";
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kTPeerCrashStorm: return "tpeer_crash_storm";
+    case FaultKind::kSPeerCrashStorm: return "speer_crash_storm";
+    case FaultKind::kJoinFlashCrowd: return "join_flash_crowd";
+    case FaultKind::kStaleHello: return "stale_hello";
+    case FaultKind::kCount_: break;
+  }
+  return "unknown";
+}
+
+std::optional<FaultKind> fault_kind_from_name(const std::string& name) {
+  for (std::uint8_t k = 0; k < static_cast<std::uint8_t>(FaultKind::kCount_);
+       ++k) {
+    const auto kind = static_cast<FaultKind>(k);
+    if (name == fault_kind_name(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+stats::JsonValue FaultPhase::to_json() const {
+  auto v = stats::JsonValue::object();
+  v.set("kind", fault_kind_name(kind));
+  v.set("start_us", static_cast<std::int64_t>(start.as_micros()));
+  v.set("duration_us", static_cast<std::int64_t>(duration.as_micros()));
+  v.set("intensity", intensity);
+  v.set("count", static_cast<std::int64_t>(count));
+  v.set("param", static_cast<std::int64_t>(param));
+  v.set("symmetric", symmetric);
+  v.set("affect_control", affect_control);
+  return v;
+}
+
+std::optional<FaultPhase> FaultPhase::from_json(const stats::JsonValue& v) {
+  if (!v.is_object()) return std::nullopt;
+  const auto* kind = v.find("kind");
+  if (kind == nullptr || !kind->is_string()) return std::nullopt;
+  const auto parsed = fault_kind_from_name(kind->as_string());
+  if (!parsed) return std::nullopt;
+  FaultPhase p;
+  p.kind = *parsed;
+  const auto get_int = [&](const char* key, std::int64_t fallback) {
+    const auto* f = v.find(key);
+    return f != nullptr && f->is_number() ? f->as_int() : fallback;
+  };
+  p.start = sim::SimTime::micros(get_int("start_us", 0));
+  p.duration = sim::SimTime::micros(get_int("duration_us", 0));
+  if (const auto* f = v.find("intensity"); f != nullptr && f->is_number()) {
+    p.intensity = f->as_double();
+  }
+  p.count = static_cast<std::uint32_t>(get_int("count", 0));
+  p.param = static_cast<std::uint64_t>(get_int("param", 0));
+  if (const auto* f = v.find("symmetric"); f != nullptr && f->is_bool()) {
+    p.symmetric = f->as_bool();
+  }
+  if (const auto* f = v.find("affect_control"); f != nullptr && f->is_bool()) {
+    p.affect_control = f->as_bool();
+  }
+  return p;
+}
+
+sim::SimTime FaultSchedule::end() const {
+  sim::SimTime latest{};
+  for (const FaultPhase& p : phases) latest = std::max(latest, p.end());
+  return latest;
+}
+
+stats::JsonValue FaultSchedule::to_json() const {
+  auto v = stats::JsonValue::object();
+  v.set("seed", static_cast<std::int64_t>(seed));
+  auto arr = stats::JsonValue::array();
+  for (const FaultPhase& p : phases) arr.push_back(p.to_json());
+  v.set("phases", std::move(arr));
+  return v;
+}
+
+std::optional<FaultSchedule> FaultSchedule::from_json(
+    const stats::JsonValue& v) {
+  if (!v.is_object()) return std::nullopt;
+  FaultSchedule s;
+  if (const auto* f = v.find("seed"); f != nullptr && f->is_number()) {
+    s.seed = static_cast<std::uint64_t>(f->as_int());
+  }
+  const auto* phases = v.find("phases");
+  if (phases == nullptr || !phases->is_array()) return std::nullopt;
+  for (const auto& pv : phases->items()) {
+    auto p = FaultPhase::from_json(pv);
+    if (!p) return std::nullopt;
+    s.phases.push_back(*p);
+  }
+  return s;
+}
+
+std::string FaultSchedule::one_line() const {
+  return "seed=" + std::to_string(seed) + " schedule=" + to_json().dump(0);
+}
+
+FaultSchedule random_schedule(std::uint64_t seed, sim::SimTime start,
+                              std::uint32_t num_domains) {
+  Rng rng(seed);
+  Rng gen = rng.fork(0xc4a05);
+  FaultSchedule s;
+  s.seed = seed;
+  const std::size_t num_phases = 2 + gen.index(3);  // 2..4
+  sim::SimTime cursor = start;
+  bool partition_used = false;
+  for (std::size_t i = 0; i < num_phases; ++i) {
+    FaultPhase p;
+    // Phases are staggered with gaps so distinct fault families interact
+    // through protocol state rather than trivially stacking.
+    cursor += sim::SimTime::seconds(1 + 2 * gen.uniform01());
+    p.start = cursor;
+    p.duration = sim::SimTime::seconds(3 + 5 * gen.uniform01());
+    cursor += p.duration;
+    switch (gen.index(7)) {
+      case 0:
+        p.kind = FaultKind::kLossBurst;
+        p.intensity = 0.1 + 0.4 * gen.uniform01();
+        break;
+      case 1:
+        p.kind = FaultKind::kLatencyStorm;
+        p.intensity = 1.0 + 4.0 * gen.uniform01();
+        break;
+      case 2:
+        if (partition_used || num_domains < 2) {
+          p.kind = FaultKind::kLossBurst;
+          p.intensity = 0.1 + 0.4 * gen.uniform01();
+          break;
+        }
+        partition_used = true;
+        p.kind = FaultKind::kPartition;
+        p.param = 1 + gen.index(num_domains - 1);  // pivot in [1, domains)
+        p.symmetric = gen.chance(0.5);
+        break;
+      case 3:
+        p.kind = FaultKind::kTPeerCrashStorm;
+        p.count = 1 + static_cast<std::uint32_t>(gen.index(3));
+        break;
+      case 4:
+        p.kind = FaultKind::kSPeerCrashStorm;
+        p.count = 2 + static_cast<std::uint32_t>(gen.index(4));
+        break;
+      case 5:
+        p.kind = FaultKind::kJoinFlashCrowd;
+        p.count = 3 + static_cast<std::uint32_t>(gen.index(6));
+        break;
+      default:
+        p.kind = FaultKind::kStaleHello;
+        p.param = 1000 + gen.uniform(0, 2000);  // extra heartbeat delay, ms
+        break;
+    }
+    s.phases.push_back(p);
+  }
+  return s;
+}
+
+}  // namespace hp2p::chaos

@@ -1,0 +1,88 @@
+// Declarative fault schedules for the chaos-test engine.
+//
+// A schedule is a seed plus a list of timed fault phases (loss bursts,
+// latency storms, underlay-domain partitions, crash storms, join flash
+// crowds, stale HELLO delivery).  Schedules serialize to/from JSON, so a
+// failing run is reproducible from a one-line seed + blob, and the shrinker
+// can bisect phases down to a minimal reproducer.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "stats/json.hpp"
+
+namespace hp2p::chaos {
+
+/// Fault families the engine knows how to apply.
+enum class FaultKind : std::uint8_t {
+  kLossBurst,        // drop messages with probability `intensity`
+  kLatencyStorm,     // stretch hop latency by `intensity` x base
+  kPartition,        // cut traffic between underlay domains < / >= `param`
+  kTPeerCrashStorm,  // crash `count` live t-peers across the phase
+  kSPeerCrashStorm,  // crash `count` live s-peers across the phase
+  kJoinFlashCrowd,   // `count` s-peers join in a burst
+  kStaleHello,       // delay heartbeat traffic by `param` milliseconds
+  kCount_,           // sentinel
+};
+
+/// Stable snake_case name (JSON `kind` field).
+[[nodiscard]] const char* fault_kind_name(FaultKind kind);
+[[nodiscard]] std::optional<FaultKind> fault_kind_from_name(
+    const std::string& name);
+
+/// One timed fault phase.  Field meaning depends on `kind` (see FaultKind);
+/// unused fields stay at their defaults so schedules compare and round-trip
+/// exactly.
+struct FaultPhase {
+  FaultKind kind = FaultKind::kLossBurst;
+  sim::SimTime start{};
+  sim::Duration duration{};
+  double intensity = 0.0;
+  std::uint32_t count = 0;
+  std::uint64_t param = 0;
+  /// Partitions: cut both directions (true) or only low->high domain.
+  bool symmetric = true;
+  /// Loss bursts: whether kControl messages are also dropped.  Off by
+  /// default: the protocols treat control transfer as reliable (a lost
+  /// join-triangle or competition message wedges membership forever), so
+  /// the randomized generator models control as delayed, never lost.
+  bool affect_control = false;
+
+  friend bool operator==(const FaultPhase&, const FaultPhase&) = default;
+
+  [[nodiscard]] sim::SimTime end() const { return start + duration; }
+  [[nodiscard]] stats::JsonValue to_json() const;
+  [[nodiscard]] static std::optional<FaultPhase> from_json(
+      const stats::JsonValue& v);
+};
+
+/// A full schedule: the run seed plus its phases.
+struct FaultSchedule {
+  std::uint64_t seed = 1;
+  std::vector<FaultPhase> phases;
+
+  friend bool operator==(const FaultSchedule&, const FaultSchedule&) = default;
+
+  /// Latest phase end (time zero when empty).
+  [[nodiscard]] sim::SimTime end() const;
+  [[nodiscard]] stats::JsonValue to_json() const;
+  [[nodiscard]] static std::optional<FaultSchedule> from_json(
+      const stats::JsonValue& v);
+  /// One-line reproducer: `seed=<N> schedule=<compact json>`.
+  [[nodiscard]] std::string one_line() const;
+};
+
+/// Seeded random schedule for the chaos soak: 2-4 phases drawn from all
+/// families, placed after `start`, sized for a small/medium system.
+/// `num_domains` bounds partition pivots.  Constraints that keep the oracle
+/// sound are built in: control traffic is never lost (only delayed), crash
+/// storms are modest, and flash crowds do not overlap partitions.
+[[nodiscard]] FaultSchedule random_schedule(std::uint64_t seed,
+                                            sim::SimTime start,
+                                            std::uint32_t num_domains);
+
+}  // namespace hp2p::chaos

@@ -1,0 +1,96 @@
+#include "chaos/reference_model.hpp"
+
+#include <deque>
+#include <set>
+
+#include "common/ring_math.hpp"
+
+namespace hp2p::chaos {
+
+namespace {
+
+bool live_member(const hybrid::HybridSystem& sys, PeerIndex p) {
+  return p != kNoPeer && sys.is_alive(p) && sys.is_joined(p);
+}
+
+}  // namespace
+
+void ReferenceModel::record_store(DataId id, PeerIndex origin) {
+  stores_.emplace(id.value(), origin);
+}
+
+std::vector<PeerIndex> ReferenceModel::live_holders(DataId id) const {
+  std::vector<PeerIndex> holders;
+  for (std::size_t i = 0; i < system_.num_peers(); ++i) {
+    const PeerIndex p{static_cast<std::uint32_t>(i)};
+    if (system_.is_server_peer(p) || !live_member(system_, p)) continue;
+    if (system_.store_of(p).find(id) != nullptr) holders.push_back(p);
+  }
+  return holders;
+}
+
+bool ReferenceModel::holder_within(PeerIndex start, DataId id,
+                                   std::uint32_t ttl) const {
+  if (!live_member(system_, start)) return false;
+  std::set<std::uint32_t> visited{start.value()};
+  std::deque<std::pair<PeerIndex, std::uint32_t>> frontier{{start, 0}};
+  while (!frontier.empty()) {
+    const auto [at, depth] = frontier.front();
+    frontier.pop_front();
+    if (system_.store_of(at).find(id) != nullptr) return true;
+    if (depth == ttl) continue;
+    std::vector<PeerIndex> next = system_.children_of(at);
+    next.push_back(system_.parent_of(at));
+    for (const PeerIndex n : next) {
+      if (!live_member(system_, n)) continue;
+      if (!visited.insert(n.value()).second) continue;
+      frontier.emplace_back(n, depth + 1);
+    }
+  }
+  return false;
+}
+
+PeerIndex ReferenceModel::chain_root(PeerIndex origin) const {
+  PeerIndex at = origin;
+  for (std::size_t hops = 0; hops <= system_.num_peers(); ++hops) {
+    if (!live_member(system_, at)) return kNoPeer;
+    if (system_.role_of(at) == hybrid::Role::kTPeer) return at;
+    at = system_.parent_of(at);
+    if (at == kNoPeer) return kNoPeer;
+  }
+  return kNoPeer;  // cp cycle: treat as severed
+}
+
+Expectation ReferenceModel::classify(PeerIndex origin, DataId id) const {
+  if (!live_member(system_, origin)) return {false, "origin_down"};
+  if (system_.store_of(origin).find(id) != nullptr) {
+    return {true, "own_store"};
+  }
+  if (live_holders(id).empty()) return {false, "no_live_holder"};
+
+  const auto& params = system_.params();
+  const std::uint32_t ttl =
+      params.reflood_on_timeout ? params.ttl * 2 : params.ttl;
+
+  const PeerIndex root = chain_root(origin);
+  if (root == kNoPeer) return {false, "cp_chain_severed"};
+
+  const PeerIndex owner = system_.owner_tpeer(id);
+  if (owner == kNoPeer) return {false, "no_owner"};
+
+  if (owner == root) {
+    // Local-segment lookup: a flood from the origin must find a holder
+    // within reach.  The flood starts at the origin, not the root.
+    if (holder_within(origin, id, ttl)) return {true, "local_flood"};
+    return {false, "holder_beyond_ttl"};
+  }
+
+  // Remote-segment lookup: climb to the root, route the ring to the owner,
+  // flood there.  MUST only when every leg is structurally sound.
+  if (!system_.verify_ring()) return {false, "ring_inconsistent"};
+  if (!live_member(system_, owner)) return {false, "owner_down"};
+  if (holder_within(owner, id, ttl)) return {true, "remote_flood"};
+  return {false, "holder_beyond_ttl"};
+}
+
+}  // namespace hp2p::chaos

@@ -1,0 +1,62 @@
+// Model-based availability oracle for the chaos engine.
+//
+// The model remembers every store issued by the workload and, at a quiescent
+// point, classifies each (origin, id) lookup as MUST succeed or MAY fail by
+// walking the live overlay (ground truth, not protocol messages).  The MUST
+// rules are deliberately conservative: any structural doubt (broken ring,
+// severed cp-chain, every holder crashed, holder beyond flood reach)
+// downgrades to MAY so the oracle never blames the protocol for a loss the
+// fault schedule made legitimate.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "hybrid/hybrid_system.hpp"
+
+namespace hp2p::chaos {
+
+/// Verdict for one prospective lookup.
+struct Expectation {
+  bool must = false;
+  /// Stable reason literal (e.g. "own_store", "no_live_holder").
+  const char* reason = "";
+};
+
+class ReferenceModel {
+ public:
+  explicit ReferenceModel(const hybrid::HybridSystem& system)
+      : system_(system) {}
+
+  /// Records that `origin` issued store_id(id, key).  Ground truth for
+  /// holders is read from the live stores, so re-recording is harmless.
+  void record_store(DataId id, PeerIndex origin);
+
+  /// All recorded (id, origin) pairs in id order.
+  [[nodiscard]] const std::map<std::uint64_t, PeerIndex>& stores() const {
+    return stores_;
+  }
+
+  /// Live joined peers currently holding `id`.
+  [[nodiscard]] std::vector<PeerIndex> live_holders(DataId id) const;
+
+  /// Classifies a lookup for `id` issued by `origin` at a quiescent point.
+  [[nodiscard]] Expectation classify(PeerIndex origin, DataId id) const;
+
+ private:
+  /// True iff a live joined holder of `id` is within `ttl` tree hops of
+  /// `start` (flood reachability over cp/children edges).
+  [[nodiscard]] bool holder_within(PeerIndex start, DataId id,
+                                   std::uint32_t ttl) const;
+  /// Root t-peer of origin's s-network via the cp chain; kNoPeer when the
+  /// chain is severed, leaves the live set, or cycles.
+  [[nodiscard]] PeerIndex chain_root(PeerIndex origin) const;
+
+  const hybrid::HybridSystem& system_;
+  std::map<std::uint64_t, PeerIndex> stores_;
+};
+
+}  // namespace hp2p::chaos

@@ -1,0 +1,69 @@
+#include "chaos/shrinker.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace hp2p::chaos {
+
+namespace {
+
+FaultSchedule with_phases(const FaultSchedule& base,
+                          std::vector<FaultPhase> phases) {
+  FaultSchedule s;
+  s.seed = base.seed;
+  s.phases = std::move(phases);
+  return s;
+}
+
+}  // namespace
+
+FaultSchedule shrink_schedule(
+    FaultSchedule failing,
+    const std::function<bool(const FaultSchedule&)>& still_fails) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Phase-list reduction, ddmin-style: try dropping contiguous chunks,
+    // halving the chunk size down to single phases.
+    for (std::size_t chunk = failing.phases.size(); chunk >= 1; chunk /= 2) {
+      for (std::size_t at = 0;
+           at + chunk <= failing.phases.size() && failing.phases.size() > 1;) {
+        std::vector<FaultPhase> reduced;
+        reduced.reserve(failing.phases.size() - chunk);
+        for (std::size_t i = 0; i < failing.phases.size(); ++i) {
+          if (i < at || i >= at + chunk) reduced.push_back(failing.phases[i]);
+        }
+        if (!reduced.empty() &&
+            still_fails(with_phases(failing, reduced))) {
+          failing.phases = std::move(reduced);
+          changed = true;
+          // Re-test the same position against the shorter list.
+        } else {
+          at += 1;
+        }
+      }
+      if (chunk == 1) break;
+    }
+    // Intensity / count halving: keep a weaker phase only if it still
+    // reproduces, so the reproducer documents the minimal stress needed.
+    for (std::size_t i = 0; i < failing.phases.size(); ++i) {
+      while (failing.phases[i].intensity > 0.02) {
+        FaultSchedule candidate = failing;
+        candidate.phases[i].intensity /= 2.0;
+        if (!still_fails(candidate)) break;
+        failing = std::move(candidate);
+        changed = true;
+      }
+      while (failing.phases[i].count > 1) {
+        FaultSchedule candidate = failing;
+        candidate.phases[i].count /= 2;
+        if (!still_fails(candidate)) break;
+        failing = std::move(candidate);
+        changed = true;
+      }
+    }
+  }
+  return failing;
+}
+
+}  // namespace hp2p::chaos

@@ -1,0 +1,21 @@
+// Schedule shrinker: given a failing FaultSchedule and a predicate that
+// re-runs it, bisects the phase list (ddmin-style) and then halves phase
+// intensities/counts, returning a minimal schedule that still fails.  The
+// result prints as a one-line seed + JSON reproducer via
+// FaultSchedule::one_line().
+#pragma once
+
+#include <functional>
+
+#include "chaos/fault_schedule.hpp"
+
+namespace hp2p::chaos {
+
+/// Shrinks `failing` while `still_fails` keeps returning true on the
+/// candidate.  Deterministic; the predicate is typically a full run_chaos
+/// replay, so expect O(phases * log) re-runs.
+[[nodiscard]] FaultSchedule shrink_schedule(
+    FaultSchedule failing,
+    const std::function<bool(const FaultSchedule&)>& still_fails);
+
+}  // namespace hp2p::chaos

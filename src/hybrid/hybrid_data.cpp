@@ -160,22 +160,76 @@ void HybridSystem::route_ring(
     return;
   }
   if (intercept && intercept(at, hops)) return;  // surrogate answered
+  ring_forward(at, target, hops, contacted, cls, bytes,
+               std::make_shared<std::function<void(PeerIndex, std::uint32_t,
+                                                   std::uint32_t)>>(
+                   std::move(at_owner)),
+               std::make_shared<std::function<bool(PeerIndex, std::uint32_t)>>(
+                   std::move(intercept)),
+               ctx, 0);
+}
+
+void HybridSystem::ring_forward(
+    PeerIndex at, std::uint64_t target, std::uint32_t hops,
+    std::uint32_t contacted, proto::TrafficClass cls, std::uint32_t bytes,
+    std::shared_ptr<std::function<void(PeerIndex, std::uint32_t,
+                                       std::uint32_t)>> at_owner,
+    std::shared_ptr<std::function<bool(PeerIndex, std::uint32_t)>> intercept,
+    stats::TraceContext ctx, unsigned attempt) {
+  Peer& here = peer(at);
   PeerIndex next = here.successor;
   if (params_.t_routing == TRouting::kFinger) {
     const chord::Finger f = here.fingers.closest_preceding(target);
     if (f.node != kNoPeer && f.node != at) next = f.node;
   }
+  if (next == kNoPeer) {
+    net_.note_drop(at, proto::DropReason::kNoRoute, cls, ctx);
+    return;
+  }
+  auto delivered = std::make_shared<bool>(false);
   net_.send(at, next, cls, bytes, ctx,
-            [this, next, target, hops, contacted, cls, bytes, ctx,
-             at_owner = std::move(at_owner),
-             intercept = std::move(intercept)] {
+            [this, next, target, hops, contacted, cls, bytes, ctx, at_owner,
+             intercept, delivered] {
+              *delivered = true;
               if (tracer_ != nullptr && ctx.valid()) {
                 tracer_->instant(ctx, "ring_hop", next.value(), sim_.now(),
                                  "hop", hops + 1);
               }
-              route_ring(next, target, hops + 1, contacted + 1, cls, bytes,
-                         at_owner, intercept, ctx);
+              route_ring(
+                  next, target, hops + 1, contacted + 1, cls, bytes,
+                  [at_owner](PeerIndex o, std::uint32_t h, std::uint32_t c) {
+                    if (*at_owner) (*at_owner)(o, h, c);
+                  },
+                  *intercept ? [intercept](PeerIndex p, std::uint32_t h) {
+                    return (*intercept)(p, h);
+                  } : std::function<bool(PeerIndex, std::uint32_t)>{},
+                  ctx);
             });
+  if (params_.ring_retry_limit == 0 || attempt >= params_.ring_retry_limit) {
+    return;
+  }
+  // Retry watchdog: the hop is lost iff the receiver dies while the message
+  // is in flight (delivery closures of dead receivers never run).  After a
+  // conservative 2x hop RTT plus backoff, re-resolve the next hop -- our
+  // successor pointer may have been repaired to the crash heir meanwhile --
+  // and forward again.  On healthy hops the watchdog fires as a no-op.
+  sim::Duration backoff = params_.ring_retry_base;
+  for (unsigned i = 0; i < attempt && backoff < params_.ring_retry_cap; ++i) {
+    backoff += backoff;
+  }
+  if (params_.ring_retry_cap < backoff) backoff = params_.ring_retry_cap;
+  const sim::Duration wait =
+      net_.hop_latency(at, next, bytes) + net_.hop_latency(at, next, bytes) +
+      backoff;
+  sim_.schedule_after(wait, [this, at, target, hops, contacted, cls, bytes,
+                             ctx, at_owner, intercept, delivered, attempt] {
+    if (*delivered) return;
+    if (!net_.alive(at)) return;
+    const Peer& h = peer(at);
+    if (!h.joined || h.role != Role::kTPeer) return;
+    ring_forward(at, target, hops, contacted, cls, bytes, at_owner, intercept,
+                 ctx, attempt + 1);
+  });
 }
 
 void HybridSystem::place_item(PeerIndex at, proto::DataItem item,
@@ -404,19 +458,7 @@ void HybridSystem::lookup_id(PeerIndex from, DataId id, LookupCallback done) {
     // Local search with the configured TTL.
     trace_stage(qid, "flood", "flood", from);
     search_snetwork(from, kNoPeer, qid, params_.ttl, 0);
-    if (params_.reflood_on_timeout) {
-      sim_.schedule_after(
-          sim::SimTime::micros(params_.lookup_timeout.as_micros() / 2),
-          [this, qid, from] {
-            auto it = queries_.find(qid);
-            if (it == queries_.end() || it->second.finished ||
-                it->second.reflooded) {
-              return;
-            }
-            it->second.reflooded = true;
-            search_snetwork(from, kNoPeer, qid, params_.ttl * 2, 0);
-          });
-    }
+    arm_reflood(qid, from);
     return;
   }
 
@@ -445,6 +487,7 @@ void HybridSystem::lookup_id(PeerIndex from, DataId id, LookupCallback done) {
 
 void HybridSystem::start_remote_lookup(PeerIndex origin, std::uint64_t qid,
                                        DataId id) {
+  arm_reroute(qid, origin, id);
   trace_stage(qid, "climb", "climb", origin);
   forward_up_to_tpeer(
       origin, proto::kQueryBytes, TrafficClass::kQuery,
@@ -482,6 +525,10 @@ void HybridSystem::start_remote_lookup(PeerIndex origin, std::uint64_t qid,
                      trace_stage(qid, "flood", "flood", owner);
                      search_snetwork(owner, kNoPeer, qid, params_.ttl,
                                      owner_hops);
+                     // The remote flood can miss transiently (a holder mid
+                     // re-attach after churn); arm the same re-flood the
+                     // local path gets.
+                     arm_reflood(qid, owner);
                    },
                    std::move(intercept), query_trace(qid));
       },
@@ -801,6 +848,51 @@ void HybridSystem::fail_query_fast(std::uint64_t qid) {
   proto::LookupResult r;
   r.fast_fail = true;
   finish_query(qid, r);
+}
+
+void HybridSystem::arm_reflood(std::uint64_t qid, PeerIndex at) {
+  if (!params_.reflood_on_timeout) return;
+  sim_.schedule_after(
+      sim::SimTime::micros(params_.lookup_timeout.as_micros() / 2),
+      [this, qid, at] {
+        auto it = queries_.find(qid);
+        if (it == queries_.end() || it->second.finished ||
+            it->second.reflooded) {
+          return;
+        }
+        if (!net_.alive(at) || !peer(at).joined) return;
+        it->second.reflooded = true;
+        // Forget the first wave's footprint: the miss may be a peer that
+        // (re-)attached behind an already-visited parent, and the dedup in
+        // flood() would stop the new wave right there.  Re-contacted peers
+        // count towards peers_contacted again, which is what re-contacting
+        // them costs.
+        it->second.visited.clear();
+        it->second.visited.insert(at.value());
+        search_snetwork(at, kNoPeer, qid, params_.ttl * 2, 0);
+      });
+}
+
+void HybridSystem::arm_reroute(std::uint64_t qid, PeerIndex origin,
+                               DataId id) {
+  // End-to-end leg of the ring-retry hardening: the per-hop watchdog in
+  // ring_forward only sees a receiver that dies with the message in
+  // flight.  A carrier that crashes AFTER delivery takes the query with it
+  // and no hop notices, so re-issue the whole climb + ring trip from the
+  // origin once, at half the lookup timeout.
+  if (params_.ring_retry_limit == 0) return;
+  sim_.schedule_after(
+      sim::SimTime::micros(params_.lookup_timeout.as_micros() / 2),
+      [this, qid, origin, id] {
+        auto it = queries_.find(qid);
+        if (it == queries_.end() || it->second.finished ||
+            it->second.rerouted) {
+          return;
+        }
+        if (!net_.alive(origin) || !peer(origin).joined) return;
+        it->second.rerouted = true;
+        start_remote_lookup(origin, qid, id);
+      });
 }
 
 void HybridSystem::trace_stage(std::uint64_t qid, const char* name,

@@ -482,12 +482,45 @@ void HybridSystem::descend_sjoin(PeerIndex at, PeerIndex joiner,
     return;
   }
 
-  // Accept here: `at` becomes the joiner's connect point.
-  here.children.push_back(joiner);
+  // Accepting below a node whose own upward chain passes through the
+  // joiner would close a cp cycle: stale child links can route a rejoining
+  // subtree head back into its own subtree mid-churn, and a cycle never
+  // self-heals (every member keeps a live parent, so no orphan retry
+  // fires).  Restart from the server instead.
+  {
+    PeerIndex cur = at;
+    std::size_t steps = 0;
+    while (cur != kNoPeer && steps++ <= peers_.size()) {
+      if (cur == joiner) {
+        start_speer_join(joiner, server_pick_snetwork(joiner), started,
+                         std::move(done));
+        return;
+      }
+      const Peer& q = peer(cur);
+      if (q.role == Role::kTPeer) break;
+      cur = q.cp;
+    }
+  }
+
+  // Accept here: `at` becomes the joiner's connect point.  A rejoin retry
+  // can race an earlier acceptance that is still in flight; never record
+  // the same child twice.
+  if (std::find(here.children.begin(), here.children.end(), joiner) ==
+      here.children.end()) {
+    here.children.push_back(joiner);
+  }
   const PeerIndex root = here.tpeer;
   net_.send(at, joiner, TrafficClass::kControl, proto::kControlBytes,
             [this, at, joiner, root, hops, started, done = std::move(done)] {
               Peer& n = peer(joiner);
+              if (n.cp != kNoPeer && n.cp != at) {
+                // A raced earlier acceptance registered us under another
+                // parent; unhook that entry or the tree keeps two records
+                // of one child.
+                auto& sibs = peer(n.cp).children;
+                sibs.erase(std::remove(sibs.begin(), sibs.end(), joiner),
+                           sibs.end());
+              }
               n.cp = at;
               n.tpeer = root;
               n.pid = peer(root).pid;  // s-peers share the t-peer's p_id
@@ -497,11 +530,16 @@ void HybridSystem::descend_sjoin(PeerIndex at, PeerIndex joiner,
               // send those back to their responsible t-peer.
               rehome_foreign_items(joiner);
               // A rejoining orphan brings its subtree along; everyone below
-              // must learn the (possibly new) root.
+              // must learn the (possibly new) root.  Revisit-guarded:
+              // child lists can hold transient cycles mid-churn.
+              std::vector<char> seen(peers_.size(), 0);
+              seen[joiner.value()] = 1;
               std::vector<PeerIndex> frontier = n.children;
               while (!frontier.empty()) {
                 std::vector<PeerIndex> next_level;
                 for (PeerIndex m : frontier) {
+                  if (seen[m.value()] != 0) continue;
+                  seen[m.value()] = 1;
                   net_.send(joiner, m, TrafficClass::kControl,
                             proto::kControlBytes, [this, m, root] {
                               Peer& mm = peer(m);
@@ -766,10 +804,16 @@ void HybridSystem::promote_speer(PeerIndex heir, PeerIndex old_t,
   broadcast_substitution(old_t, heir);
 
   // Everyone below the heir learns the new root (tpeer pointer refresh).
+  // Guarded against revisits: mid-storm races (a rejoin crossing a
+  // note_heard child re-add) can leave transient cycles in child lists.
+  std::vector<char> seen(peers_.size(), 0);
+  seen[heir.value()] = 1;
   std::vector<PeerIndex> frontier = h.children;
   while (!frontier.empty()) {
     std::vector<PeerIndex> next;
     for (PeerIndex m : frontier) {
+      if (seen[m.value()] != 0) continue;
+      seen[m.value()] = 1;
       net_.send(heir, m, TrafficClass::kControl, proto::kControlBytes,
                 [this, m, heir] { peer(m).tpeer = heir; });
       for (PeerIndex c : peer(m).children) next.push_back(c);
@@ -934,7 +978,15 @@ void HybridSystem::server_handle_compete(PeerIndex orphan,
   } else {
     // Someone already replaced it; this orphan rejoins under the heir.
     const PeerIndex heir = registry_owner(peer(dead_tpeer).pid.value());
-    if (heir == kNoPeer) return;
+    if (heir == kNoPeer || heir == orphan) return;
+    if (!net_.alive(heir) || !peer(heir).joined) {
+      // Re-promotion race: the competition winner crashed before (or right
+      // after) its promotion landed, so the registry points at a corpse.
+      // Treat this orphan as a fresh competitor for the heir's slot; the
+      // recursion terminates because replaced_tpeers_ only grows.
+      server_handle_compete(orphan, heir);
+      return;
+    }
     net_.send(server_, orphan, TrafficClass::kControl, proto::kControlBytes,
               [this, orphan, heir] {
                 Peer& o = peer(orphan);
@@ -948,6 +1000,7 @@ void HybridSystem::server_handle_compete(PeerIndex orphan,
 
 void HybridSystem::server_handle_ring_repair(PeerIndex reporter,
                                              PeerIndex dead) {
+  if (net_.alive(dead) && peer(dead).joined) return;  // false alarm
   if (!replaced_tpeers_.insert(dead.value()).second) return;
   const PeerId dead_pid = peer(dead).pid;
   registry_erase(dead_pid);
@@ -973,6 +1026,44 @@ void HybridSystem::server_handle_ring_repair(PeerIndex reporter,
             });
   broadcast_substitution(dead, kNoPeer);
   (void)reporter;
+}
+
+void HybridSystem::server_refresh_ring_pointers(PeerIndex reporter,
+                                                PeerIndex dead) {
+  if (!net_.alive(reporter) || !peer(reporter).joined) return;
+  const PeerId dead_pid = peer(dead).pid;
+  if (registry_.empty()) return;
+  // Who serves the dead peer's old position now?  If the slot was
+  // re-registered (crash competition) both pointers go to the heir; if it
+  // was erased (loner repair) the registry neighbors around the gap take
+  // over.
+  PeerIndex suc_fix = kNoPeer;
+  PeerIndex pre_fix = kNoPeer;
+  const auto exact = registry_.find(dead_pid.value());
+  if (exact != registry_.end()) {
+    suc_fix = exact->second;
+    pre_fix = exact->second;
+  } else {
+    suc_fix = registry_owner(dead_pid.value());
+    auto it = registry_.lower_bound(dead_pid.value());
+    auto prev = it == registry_.begin() ? std::prev(registry_.end())
+                                        : std::prev(it);
+    pre_fix = prev->second;
+  }
+  if (suc_fix == kNoPeer || pre_fix == kNoPeer) return;
+  if (!net_.alive(suc_fix) || !net_.alive(pre_fix)) return;
+  net_.send(server_, reporter, TrafficClass::kControl, proto::kControlBytes,
+            [this, reporter, dead, suc_fix, pre_fix] {
+              Peer& r = peer(reporter);
+              if (r.successor == dead) {
+                r.successor = suc_fix;
+                r.successor_id = peer(suc_fix).pid;
+              }
+              if (r.predecessor == dead) {
+                r.predecessor = pre_fix;
+                r.predecessor_id = peer(pre_fix).pid;
+              }
+            });
 }
 
 // --- Failure detection (Section 3.2.2) --------------------------------------------
@@ -1041,12 +1132,95 @@ void HybridSystem::heartbeat_step(PeerIndex p_idx) {
     net_.send(p_idx, n, TrafficClass::kHeartbeat, proto::kHeartbeatBytes,
               [this, n, p_idx] { note_heard(n, p_idx); });
   }
+  // Orphaned s-peer: a crashed parent (or a rejoin whose acceptance never
+  // arrived) leaves cp == kNoPeer and nothing else will ever re-attach it.
+  // Retry once per hello_timeout.
+  if (p.role == Role::kSPeer && p.cp == kNoPeer &&
+      sim::expired(p.last_rejoin_attempt + params_.hello_timeout, now)) {
+    p.last_rejoin_attempt = now;
+    p.joined = true;  // a wedged half-rejoin left it unjoined; it is a member
+    if (p.tpeer != kNoPeer) {
+      rejoin_subtree(p_idx);
+    } else {
+      const PeerIndex target = server_pick_snetwork(p_idx);
+      if (target != kNoPeer) start_speer_join(p_idx, target, now, {});
+    }
+  }
+  // Churn can strand items outside their segment (route_and_place falls
+  // back to a local insert when the upward path is dead); push them home
+  // once per beat.  No-op while everything is placed correctly.
+  rehome_foreign_items(p_idx);
   sim_.schedule_after(params_.hello_interval,
                       [this, p_idx] { heartbeat_step(p_idx); });
 }
 
 void HybridSystem::note_heard(PeerIndex at, PeerIndex from) {
-  peer(at).last_heard[from.value()] = sim_.now();
+  Peer& p = peer(at);
+  p.last_heard[from.value()] = sim_.now();
+  if (!failure_detection_ || at == from) return;
+  Peer& f = peer(from);
+  if (!p.joined || !f.joined || f.is_server || p.is_server) return;
+  // State-only reconciliation against what the live sender claims.  Crash
+  // storms can leave pointers dangling when an adoption message races the
+  // heir's own crash; every HELLO is a chance to repair.  Both rules are
+  // monotone -- an adoption either replaces a dead/self pointer or strictly
+  // narrows the arc to the claimed neighbor -- so they converge and cannot
+  // oscillate.
+  if (p.role == Role::kTPeer && f.role == Role::kTPeer && f.pid != p.pid) {
+    if (f.successor == at) {
+      const bool pred_gone = p.predecessor == kNoPeer ||
+                             p.predecessor == at ||
+                             !net_.alive(p.predecessor) ||
+                             !peer(p.predecessor).joined;
+      if (pred_gone || ring::in_arc_open_open(f.pid.value(),
+                                              p.predecessor_id.value(),
+                                              p.pid.value())) {
+        p.predecessor = from;
+        p.predecessor_id = f.pid;
+      }
+    }
+    if (f.predecessor == at) {
+      const bool suc_gone = p.successor == kNoPeer || p.successor == at ||
+                            !net_.alive(p.successor) ||
+                            !peer(p.successor).joined;
+      if (suc_gone || ring::in_arc_open_open(f.pid.value(), p.pid.value(),
+                                             p.successor_id.value())) {
+        p.successor = from;
+        p.successor_id = f.pid;
+      }
+    }
+  }
+  if (f.role == Role::kSPeer && f.cp == at) {
+    // Root identity flows down the tree.  A branch detached while a
+    // promotion's relabel walk ran (and later re-attached through this
+    // reconciliation) keeps a stale tpeer/pid for a dead former root, so
+    // every HELLO re-derives the child's root from its parent -- one
+    // level per beat, healing top-down from the live root.
+    const PeerIndex root = p.role == Role::kTPeer ? at : p.tpeer;
+    if (root != kNoPeer && root != f.tpeer && net_.alive(root) &&
+        peer(root).joined && peer(root).role == Role::kTPeer) {
+      f.tpeer = root;
+      f.pid = peer(root).pid;
+      rehome_foreign_items(from);
+    }
+  }
+  if (f.role == Role::kSPeer && f.cp == at &&
+      std::find(p.children.begin(), p.children.end(), from) ==
+          p.children.end()) {
+    // The sender believes we are its parent but our child record is gone
+    // (a false-positive timeout erased it).  Take it back if the degree
+    // budget still allows; otherwise cut it loose so the orphan-retry in
+    // heartbeat_step finds it a proper slot.  Never take back our own
+    // parent: crossed rejoins can make both sides claim the other as cp,
+    // and re-adding would close a two-node cycle in the child lists.
+    if (p.cp == from) {
+      f.cp = kNoPeer;
+    } else if (accepts_child(p)) {
+      p.children.push_back(from);
+    } else {
+      f.cp = kNoPeer;
+    }
+  }
 }
 
 void HybridSystem::maybe_ack(PeerIndex at, PeerIndex to) {
@@ -1094,7 +1268,13 @@ void HybridSystem::on_neighbor_dead(PeerIndex at, PeerIndex dead) {
     // replace it; a loner t-peer needs server-side ring repair.
     net_.send(at, server_, TrafficClass::kControl, proto::kControlBytes,
               [this, at, dead] {
-                if (replaced_tpeers_.count(dead.value()) != 0) return;
+                if (replaced_tpeers_.count(dead.value()) != 0) {
+                  // Slot already handled; the reporter's pointer may still
+                  // dangle if the heir's adoption message raced its crash
+                  // detection, so re-point it from the registry.
+                  server_refresh_ring_pointers(at, dead);
+                  return;
+                }
                 bool has_orphans = false;
                 for (const Peer& q : peers_) {
                   if (!q.is_server && q.joined && net_.alive(q.self) &&
@@ -1133,13 +1313,18 @@ std::pair<PeerId, PeerId> HybridSystem::segment_of(PeerIndex t) const {
 
 std::vector<PeerIndex> HybridSystem::snetwork_members(PeerIndex t) const {
   std::vector<PeerIndex> out;
+  std::vector<char> seen(peers_.size(), 0);
+  seen[t.value()] = 1;
   std::vector<PeerIndex> frontier{t};
   while (!frontier.empty()) {
     const PeerIndex m = frontier.back();
     frontier.pop_back();
     out.push_back(m);
     for (PeerIndex c : peer(m).children) {
-      if (net_.alive(c)) frontier.push_back(c);
+      if (net_.alive(c) && seen[c.value()] == 0) {
+        seen[c.value()] = 1;
+        frontier.push_back(c);
+      }
     }
   }
   return out;

@@ -17,6 +17,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -309,6 +310,9 @@ class HybridSystem {
     std::unordered_map<std::uint32_t, sim::SimTime> last_heard;  // by peer idx
     std::unordered_map<std::uint32_t, sim::SimTime> last_sent;
     bool heartbeat_running = false;
+    /// Last time this orphaned s-peer asked to rejoin a tree; throttles the
+    /// heartbeat-driven re-attach retry to one request per hello_timeout.
+    sim::SimTime last_rejoin_attempt{};
   };
 
   struct Query {
@@ -318,6 +322,7 @@ class HybridSystem {
     std::uint32_t contacted = 0;
     bool finished = false;
     bool reflooded = false;
+    bool rerouted = false;
     sim::TimerId timer{};
     LookupCallback done;
     std::unordered_set<std::uint32_t> visited;  // flood dedup + contacted
@@ -342,6 +347,10 @@ class HybridSystem {
   /// Ring repair when a t-peer with no surviving s-network crashes: the
   /// server drops it from the registry and reconnects its ring neighbors.
   void server_handle_ring_repair(PeerIndex reporter, PeerIndex dead);
+  /// A t-peer reported `dead` after its slot was already taken over: tell
+  /// the reporter who holds the slot now, so a raced/suppressed adoption
+  /// message cannot leave its ring pointers dangling forever.
+  void server_refresh_ring_pointers(PeerIndex reporter, PeerIndex dead);
   /// Registry maintenance.
   void registry_insert(PeerId pid, PeerIndex t);
   void registry_erase(PeerId pid);
@@ -412,6 +421,17 @@ class HybridSystem {
                       at_owner,
                   std::function<bool(PeerIndex, std::uint32_t)> intercept = {},
                   stats::TraceContext ctx = {});
+  /// One ring hop with retry: sends to the next hop and, while
+  /// params_.ring_retry_limit allows, re-resolves and resends after
+  /// 2x hop latency + capped exponential backoff if the hop was never
+  /// delivered (receiver crashed with the message in flight).
+  void ring_forward(
+      PeerIndex at, std::uint64_t target, std::uint32_t hops,
+      std::uint32_t contacted, proto::TrafficClass cls, std::uint32_t bytes,
+      std::shared_ptr<std::function<void(PeerIndex, std::uint32_t,
+                                         std::uint32_t)>> at_owner,
+      std::shared_ptr<std::function<bool(PeerIndex, std::uint32_t)>> intercept,
+      stats::TraceContext ctx, unsigned attempt);
   void place_item(PeerIndex at, proto::DataItem item, StoreCallback done);
   void spread_item(PeerIndex at, proto::DataItem item, StoreCallback done);
   /// Routes `item` from `from` to the responsible t-peer's s-network
@@ -449,6 +469,11 @@ class HybridSystem {
   void finish_query(std::uint64_t qid, proto::LookupResult result);
   /// Immediate failure (no timeout wait); sets LookupResult::fast_fail.
   void fail_query_fast(std::uint64_t qid);
+  /// Arms the Section 3.4 re-flood for query `qid`: at lookup_timeout/2,
+  /// if still unanswered, re-flood from `at` with doubled TTL.  Shared by
+  /// the local-segment and remote-segment lookup paths.
+  void arm_reflood(std::uint64_t qid, PeerIndex at);
+  void arm_reroute(std::uint64_t qid, PeerIndex origin, DataId id);
   void start_remote_lookup(PeerIndex origin, std::uint64_t qid, DataId id);
   void bt_lookup(PeerIndex origin, std::uint64_t qid, PeerIndex tracker,
                  std::uint32_t hops);

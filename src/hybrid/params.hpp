@@ -95,6 +95,17 @@ struct HybridParams {
   /// local-segment miss.
   bool reflood_on_timeout = false;
 
+  /// Ring-forwarding retry: when a hop has not been delivered after
+  /// 2x the hop latency plus backoff, the forwarding t-peer re-resolves the
+  /// next hop (against its possibly repaired pointers) and resends.  Covers
+  /// hops addressed at t-peers that crash while the message is in flight.
+  /// 0 disables the retry entirely (the chaos regression tests rely on
+  /// this to prove the directed crash-storm schedule catches its absence).
+  unsigned ring_retry_limit = 2;
+  /// First retry backoff; doubles per attempt up to ring_retry_cap.
+  sim::Duration ring_retry_base = sim::SimTime::millis(500);
+  sim::Duration ring_retry_cap = sim::SimTime::seconds(4);
+
   /// In-s-network search strategy; random walks trade latency/recall for
   /// bandwidth.
   SSearch s_search = SSearch::kFlood;

@@ -58,7 +58,15 @@ void OverlayNetwork::send(PeerIndex from, PeerIndex to, TrafficClass cls,
     }
     return;
   }
-  if (options_.loss_rate > 0.0 && loss_rng_.chance(options_.loss_rate)) {
+  sim::Duration fault_delay{};
+  bool fault_drop = false;
+  if (fault_) {
+    const FaultAction action = fault_(from, to, cls, bytes);
+    fault_drop = action.drop;
+    fault_delay = action.extra_delay;
+  }
+  if (fault_drop ||
+      (options_.loss_rate > 0.0 && loss_rng_.chance(options_.loss_rate))) {
     ++stats_.messages_lost;  // lost in transit; sender pays nothing extra
     ++stats_.drops_by_reason[static_cast<std::size_t>(DropReason::kLoss)];
     if (trace_) trace_({Kind::kLoss, from, to, cls, bytes});
@@ -89,7 +97,7 @@ void OverlayNetwork::send(PeerIndex from, PeerIndex to, TrafficClass cls,
     spans_->add_arg(msg_span, "bytes", bytes);
   }
 
-  const sim::SimTime delay = hop_latency(from, to, bytes);
+  const sim::SimTime delay = hop_latency(from, to, bytes) + fault_delay;
   simulator_.schedule_after(
       delay, [this, from, to, cls, bytes, msg_span,
               deliver = std::move(deliver)]() {

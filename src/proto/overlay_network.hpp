@@ -110,6 +110,15 @@ struct NetTraceEvent {
   std::uint32_t bytes;
 };
 
+/// Verdict of the optional fault hook for one message: drop it outright
+/// (accounted exactly like random in-transit loss) and/or stretch its
+/// transit by `extra_delay`.  The chaos engine composes loss bursts,
+/// latency storms and partitions out of these two primitives.
+struct FaultAction {
+  bool drop = false;
+  sim::Duration extra_delay{};
+};
+
 /// Transport options.
 struct OverlayNetworkOptions {
   /// Adds bytes/access-link-capacity to every hop (Section 5.1 model).
@@ -204,6 +213,16 @@ class OverlayNetwork {
   void set_span_recorder(stats::SpanRecorder* recorder) { spans_ = recorder; }
   [[nodiscard]] stats::SpanRecorder* span_recorder() const { return spans_; }
 
+  using FaultFn = std::function<FaultAction(PeerIndex from, PeerIndex to,
+                                            TrafficClass cls,
+                                            std::uint32_t bytes)>;
+  /// Installs (or, with an empty function, removes) the fault hook consulted
+  /// on every live-sender send, after the random-loss roll.  A `drop`
+  /// verdict is indistinguishable from random loss in every counter and
+  /// trace record, so the conservation law the auditor checks still holds;
+  /// `extra_delay` is added to the hop latency of that one message.
+  void set_fault(FaultFn fn) { fault_ = std::move(fn); }
+
  private:
   sim::Simulator& simulator_;
   const net::Underlay& underlay_;
@@ -216,6 +235,7 @@ class OverlayNetwork {
   std::optional<net::LinkStress> link_stress_;
   Rng loss_rng_;
   TraceFn trace_;
+  FaultFn fault_;
   stats::SpanRecorder* spans_ = nullptr;
 };
 

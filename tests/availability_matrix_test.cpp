@@ -1,0 +1,145 @@
+// Parameterized availability matrix: sweeps p_s x placement scheme under a
+// fixed t-peer crash storm (the chaos runner's oracle doubles as the
+// harness) and asserts the monotone relationships the paper implies.
+//
+// Two distinct availability notions fall out of the model:
+//
+//  - SERVICE availability: the success ratio of lookups issued WHILE the
+//    storm runs.  Lookups route through the t-network, so the fewer
+//    t-peers there are (high p_s), the more a fixed number of t-peer
+//    crashes disrupts routing -- at p_s = 1 every query funnels through a
+//    single root, and each crash stalls the whole system until the
+//    s-network competition promotes an heir.  This is the "success ratio
+//    at p_s = 0 >= p_s = 1 under t-peer crashes" relationship.
+//
+//  - DATA availability: the fraction of stored items still retrievable
+//    after the storm settles.  The paper's insertion rule keeps in-segment
+//    items at the generating peer, so s-networks double as replication
+//    domains: items riding on s-peers survive t-peer crashes, while at
+//    p_s = 0 every crashed loner t-peer takes its items with it.  Data
+//    availability therefore RISES with p_s, and random-spread placement
+//    (scheme 2) is no worse than t-peer-stores (scheme 1) once s-networks
+//    carry real load.
+//
+// Every cell must additionally be free of MUST-lookup violations: only
+// legitimate crash-induced losses (MAY failures) may reduce availability.
+#include <gtest/gtest.h>
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "chaos/chaos_runner.hpp"
+
+namespace hp2p::chaos {
+namespace {
+
+constexpr double kPsSweep[] = {0.0, 0.25, 0.5, 0.75, 1.0};
+constexpr double kTolerance = 0.05;
+constexpr std::uint32_t kStormLookups = 60;
+
+FaultSchedule fixed_crash_storm() {
+  FaultSchedule s;
+  s.seed = 200;
+  FaultPhase storm;
+  storm.kind = FaultKind::kTPeerCrashStorm;
+  storm.start = sim::SimTime::seconds(15);
+  storm.duration = sim::SimTime::seconds(8);
+  storm.count = 5;  // fixed across the sweep: same external shock per cell
+  s.phases.push_back(storm);
+  return s;
+}
+
+struct Cell {
+  double data_availability = 0.0;
+  double service_ratio = 0.0;
+  ChaosReport report;
+};
+
+std::string cell_name(hybrid::PlacementScheme placement, double ps) {
+  return std::string(placement == hybrid::PlacementScheme::kTPeerStores
+                         ? "tpeer_stores"
+                         : "random_spread") +
+         " ps=" + std::to_string(ps);
+}
+
+Cell run_cell(hybrid::PlacementScheme placement, double ps) {
+  ChaosConfig cfg;
+  cfg.seed = 200;
+  cfg.ps = ps;
+  cfg.params.placement = placement;
+  cfg.schedule = fixed_crash_storm();
+  cfg.storm_lookups = kStormLookups;
+  Cell cell;
+  cell.report = run_chaos(cfg);
+  const double issued = cell.report.must_issued + cell.report.may_issued;
+  const double failed = cell.report.must_failed + cell.report.may_failed;
+  cell.data_availability = issued > 0 ? (issued - failed) / issued : 0.0;
+  // Storm slots that found no live t-peer to issue from count as service
+  // failures: "nobody can even take the query" is unavailability.
+  cell.service_ratio =
+      static_cast<double>(cell.report.storm_issued -
+                          cell.report.storm_failed) /
+      static_cast<double>(kStormLookups);
+  std::cout << "[cell] " << cell_name(placement, ps)
+            << " data=" << cell.data_availability
+            << " service=" << cell.service_ratio << " ("
+            << cell.report.storm_issued - cell.report.storm_failed << "/"
+            << kStormLookups << ")\n";
+  return cell;
+}
+
+TEST(AvailabilityMatrix, MonotoneUnderTPeerCrashStorm) {
+  std::map<std::string, Cell> cells;
+  for (const auto placement : {hybrid::PlacementScheme::kTPeerStores,
+                               hybrid::PlacementScheme::kRandomSpread}) {
+    for (const double ps : kPsSweep) {
+      auto cell = run_cell(placement, ps);
+      // No cell may show protocol violations: failures must all be
+      // legitimate (MAY) crash losses.
+      EXPECT_TRUE(cell.report.clean())
+          << cell_name(placement, ps)
+          << " report: " << cell.report.to_json().dump(2);
+      EXPECT_EQ(cell.report.must_failed, 0u) << cell_name(placement, ps);
+      cells[cell_name(placement, ps)] = std::move(cell);
+    }
+  }
+  for (const auto placement : {hybrid::PlacementScheme::kTPeerStores,
+                               hybrid::PlacementScheme::kRandomSpread}) {
+    // Service under t-peer crashes: the structured-heavy end keeps
+    // answering (many small segments, each crash disrupts one), the
+    // unstructured-heavy end funnels everything through few roots.
+    const double svc0 = cells[cell_name(placement, 0.0)].service_ratio;
+    const double svc1 = cells[cell_name(placement, 1.0)].service_ratio;
+    EXPECT_GE(svc0, svc1 - kTolerance)
+        << "placement "
+        << (placement == hybrid::PlacementScheme::kTPeerStores ? 1 : 2);
+  }
+  {
+    // Data under t-peer crashes: with random spread, s-networks act as
+    // replication domains, so durability improves as they grow.
+    const double at0 =
+        cells[cell_name(hybrid::PlacementScheme::kRandomSpread, 0.0)]
+            .data_availability;
+    const double at1 =
+        cells[cell_name(hybrid::PlacementScheme::kRandomSpread, 1.0)]
+            .data_availability;
+    EXPECT_GE(at1, at0 - kTolerance);
+  }
+  for (const double ps : kPsSweep) {
+    if (ps < 0.5) continue;
+    // With loaded s-networks, spreading copies off the responsible t-peer
+    // must not lose to concentrating them on it.
+    const double spread =
+        cells[cell_name(hybrid::PlacementScheme::kRandomSpread, ps)]
+            .data_availability;
+    const double concentrated =
+        cells[cell_name(hybrid::PlacementScheme::kTPeerStores, ps)]
+            .data_availability;
+    EXPECT_GE(spread, concentrated - kTolerance) << "ps=" << ps;
+  }
+}
+
+}  // namespace
+}  // namespace hp2p::chaos

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/hashing.hpp"
+#include "common/ring_math.hpp"
 #include "hybrid/hybrid_system.hpp"
 #include "tests/test_util.hpp"
 
@@ -378,6 +379,190 @@ TEST(Hybrid, RefloodRecoversDeepLocalItems) {
   }
   g.world.sim.run();
   EXPECT_GE(successes, successes2);
+}
+
+// Shared setup for the two reflood-regression tests: a system whose biggest
+// s-network root owns a known item held below the root, plus a fault window
+// that eats query traffic long enough to kill the first flood but not the
+// armed re-flood (which fires at lookup_timeout / 2).
+namespace reflood_regression {
+
+constexpr auto kDropWindow = sim::SimTime::seconds(2);
+
+PeerIndex biggest_root(HybridFixture& f) {
+  PeerIndex root = kNoPeer;
+  for (const auto p : f.peers) {
+    if (f.system.role_of(p) != Role::kTPeer || !f.system.is_joined(p)) {
+      continue;
+    }
+    if (root == kNoPeer || f.system.snetwork_members(p).size() >
+                               f.system.snetwork_members(root).size()) {
+      root = p;
+    }
+  }
+  return root;
+}
+
+bool holds(const HybridFixture& f, PeerIndex p, DataId id) {
+  return f.system.store_of(p).find(id) != nullptr;
+}
+
+HybridParams reflood_params(bool reflood) {
+  auto params = defaults();
+  params.ps = 0.9;
+  params.reflood_on_timeout = reflood;
+  params.lookup_timeout = sim::SimTime::seconds(6);
+  // These scenarios drop query floods, not carriers: keep the ring-retry
+  // hardening (and its end-to-end reroute, which would re-run the whole
+  // lookup after the drop window closes) out of the picture so that
+  // reflood_on_timeout stays the only discriminating variable.
+  params.ring_retry_limit = 0;
+  return params;
+}
+
+}  // namespace reflood_regression
+
+TEST(Hybrid, RefloodRecoversLocalLookupFromQueryLossWindow) {
+  using namespace reflood_regression;
+  auto run = [](bool reflood) {
+    HybridFixture f{61, reflood_params(reflood)};
+    f.build(40, /*tpeers_first=*/true);
+    const PeerIndex root = biggest_root(f);
+    if (root == kNoPeer) {
+      ADD_FAILURE() << "no t-peer with an s-network";
+      return false;
+    }
+    // The root's own pid is always inside its segment (pred, pid].
+    const DataId id{f.system.pid_of(root).value()};
+    f.system.store_id(f.peers[0], id, "reflood-local", 1);
+    f.world.sim.run();
+    // Local-segment origin: a member of the root's s-network that does not
+    // hold the item itself.
+    PeerIndex origin = kNoPeer;
+    for (const PeerIndex m : f.system.snetwork_members(root)) {
+      if (m != root && !holds(f, m, id)) {
+        origin = m;
+        break;
+      }
+    }
+    if (origin == kNoPeer) {
+      ADD_FAILURE() << "no non-holding s-network member to look up from";
+      return false;
+    }
+    const sim::SimTime window_end = f.world.sim.now() + kDropWindow;
+    f.world.network->set_fault([&f, window_end](PeerIndex, PeerIndex,
+                                                proto::TrafficClass cls,
+                                                std::uint32_t) {
+      proto::FaultAction a;
+      a.drop = cls == proto::TrafficClass::kQuery &&
+               f.world.sim.now() < window_end;
+      return a;
+    });
+    bool success = false;
+    f.system.lookup_id(origin, id,
+                       [&success](proto::LookupResult r) {
+                         success = r.success;
+                       });
+    f.world.sim.run();
+    return success;
+  };
+  EXPECT_TRUE(run(true)) << "re-flood should recover the dropped flood";
+  EXPECT_FALSE(run(false)) << "without re-flood the lookup must time out";
+}
+
+TEST(Hybrid, RefloodRecoversRemoteLookupFromOwnerFloodLoss) {
+  using namespace reflood_regression;
+  auto run = [](bool reflood) {
+    HybridFixture f{62, reflood_params(reflood)};
+    f.build(40, /*tpeers_first=*/true);
+    const PeerIndex owner_root = biggest_root(f);
+    if (owner_root == kNoPeer) {
+      ADD_FAILURE() << "no t-peer with an s-network";
+      return false;
+    }
+    // Store from outside the owner's s-network (a storer inside the
+    // owner's segment would just keep the item locally) so items route to
+    // the owner and spread down its tree.
+    PeerIndex storer = kNoPeer;
+    for (const auto p : f.peers) {
+      if (f.system.is_joined(p) && f.system.role_of(p) == Role::kSPeer &&
+          f.system.tpeer_of(p) != owner_root) {
+        storer = p;
+        break;
+      }
+    }
+    if (storer == kNoPeer) {
+      ADD_FAILURE() << "no storer outside the owner's s-network";
+      return false;
+    }
+    // Store candidates in the owner's segment until one is spread below
+    // the owner (the owner keeping a copy would answer without flooding).
+    const auto [seg_lo, seg_hi] = f.system.segment_of(owner_root);
+    DataId id{};
+    bool found = false;
+    int stored = 0;
+    int held_by_owner = 0;
+    for (std::uint64_t k = 0; k < 24 && !found; ++k) {
+      const DataId candidate{ring::reduce(seg_hi.value() - k)};
+      if (!ring::in_arc_open_closed(candidate.value(), seg_lo.value(),
+                                    seg_hi.value())) {
+        continue;
+      }
+      ++stored;
+      f.system.store_id(storer, candidate,
+                        "reflood-remote-" + std::to_string(k), k);
+      f.world.sim.run();
+      if (holds(f, owner_root, candidate)) {
+        ++held_by_owner;
+      } else {
+        id = candidate;
+        found = true;
+      }
+    }
+    if (!found) {
+      ADD_FAILURE() << "every candidate stuck at the owner t-peer; stored="
+                    << stored << " held_by_owner=" << held_by_owner
+                    << " children=" << f.system.children_of(owner_root).size()
+                    << " members="
+                    << f.system.snetwork_members(owner_root).size();
+      return false;
+    }
+    // Remote origin: an s-peer from a different s-network.
+    PeerIndex origin = kNoPeer;
+    for (const auto p : f.peers) {
+      if (f.system.is_joined(p) && f.system.role_of(p) == Role::kSPeer &&
+          f.system.tpeer_of(p) != owner_root && !holds(f, p, id)) {
+        origin = p;
+        break;
+      }
+    }
+    if (origin == kNoPeer) {
+      ADD_FAILURE() << "no remote s-peer origin";
+      return false;
+    }
+    // Eat only the owner's outgoing query traffic: the ring forward still
+    // reaches the owner, whose s-network flood is what the window kills.
+    const sim::SimTime window_end = f.world.sim.now() + kDropWindow;
+    f.world.network->set_fault(
+        [&f, owner_root, window_end](PeerIndex from, PeerIndex,
+                                     proto::TrafficClass cls, std::uint32_t) {
+          proto::FaultAction a;
+          a.drop = from == owner_root &&
+                   cls == proto::TrafficClass::kQuery &&
+                   f.world.sim.now() < window_end;
+          return a;
+        });
+    bool success = false;
+    f.system.lookup_id(origin, id,
+                       [&success](proto::LookupResult r) {
+                         success = r.success;
+                       });
+    f.world.sim.run();
+    return success;
+  };
+  EXPECT_TRUE(run(true))
+      << "the remote path must arm a re-flood at the owner";
+  EXPECT_FALSE(run(false)) << "without re-flood the lookup must time out";
 }
 
 // --- Graceful leave -----------------------------------------------------------------
