@@ -89,11 +89,14 @@ template <typename Fn>
 }
 
 /// Machine-readable run report, written next to the ASCII output as
-/// BENCH_<name>.json.  Schema (version 2; v1 fields are unchanged, v2 adds
-/// the always-present `timeseries` array):
+/// BENCH_<name>.json.  Schema (version 3; v1 fields are unchanged, v2 adds
+/// the always-present `timeseries` array, v3 adds the `replication.*`
+/// namespace to per-run metrics -- replica/re-replication/anti-entropy/
+/// read-repair counters plus items_stored / items_recoverable /
+/// data_availability -- emitted by collect_run_result for every run):
 ///
 ///   {
-///     "schema_version": 2,
+///     "schema_version": 3,
 ///     "bench": "<name>",
 ///     "seed": <int>,
 ///     "config": { ... },              // nested; scale + bench-specific knobs
@@ -112,7 +115,7 @@ template <typename Fn>
 /// or concurrent run never leaves a truncated report behind.
 class Reporter {
  public:
-  static constexpr std::int64_t kSchemaVersion = 2;
+  static constexpr std::int64_t kSchemaVersion = 3;
 
   explicit Reporter(std::string name, std::uint64_t seed = 0)
       : name_(std::move(name)), seed_(seed) {}

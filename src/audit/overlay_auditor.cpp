@@ -1,6 +1,7 @@
 #include "audit/overlay_auditor.hpp"
 
 #include <algorithm>
+#include <map>
 #include <set>
 #include <utility>
 
@@ -175,6 +176,7 @@ AuditReport OverlayAuditor::run() {
   }
   check_trees(report);
   check_placement(report);
+  check_replication(report);
 
   ++runs_;
   total_violations_ += report.violations.size();
@@ -424,8 +426,13 @@ void OverlayAuditor::check_placement(AuditReport& report) {
         (root == kNoPeer || !sys_.is_alive(root) || !sys_.is_joined(root))) {
       continue;  // orphan fallback storage; rehomed on rejoin
     }
+    const bool replication = sys_.params().replication_factor > 1;
     sys_.store_of(p).for_each([&](const proto::DataItem& item) {
       ++report.checks_run;
+      // Replica copies are exempt: the successor-fallback holder of a small
+      // segment legitimately lives outside the owning s-network, and
+      // check_replication owns the durability contract for them.
+      if (replication && item.replica) return;
       const PeerIndex owner = sys_.owner_tpeer(item.id);
       if (owner != kNoPeer && owner != root) {
         add(report, "data_misplaced", p,
@@ -435,6 +442,51 @@ void OverlayAuditor::check_placement(AuditReport& report) {
             "key '" + item.key + "'");
       }
     });
+  }
+}
+
+void OverlayAuditor::check_replication(AuditReport& report) {
+  const auto& params = sys_.params();
+  if (params.replication_factor <= 1 ||
+      params.style == SNetworkStyle::kBitTorrent) {
+    return;
+  }
+  if (!options_.strict) {
+    // Replica counts are legitimately short while repair traffic is on the
+    // wire; only the quiescent contract pins them down.
+    report.skipped.emplace_back("replication");
+    return;
+  }
+  if (sys_.registry().empty()) return;
+  // Distinct live joined holders per id.  Peers are scanned in index order
+  // and a store chains same-id items contiguously, so each holder list stays
+  // sorted and dedup needs only a back() check.
+  std::map<std::uint64_t, std::vector<PeerIndex>> holders;
+  const std::size_t n = sys_.num_peers();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const PeerIndex p{i};
+    if (sys_.is_server_peer(p)) continue;
+    if (!sys_.is_alive(p) || !sys_.is_joined(p)) continue;
+    sys_.store_of(p).for_each([&](const proto::DataItem& item) {
+      auto& hs = holders[item.id.value()];
+      if (hs.empty() || hs.back() != p) hs.push_back(p);
+    });
+  }
+  // Durability contract: every surviving item reaches as many live holders
+  // as its replica set can currently seat (min(r, segment size), plus the
+  // successor fallback when the segment is short).  Ids with zero live
+  // holders are total loss -- the oracle's business, not a structural
+  // violation.
+  for (const auto& [id_value, hs] : holders) {
+    ++report.checks_run;
+    const auto rs = sys_.replica_set(DataId{id_value});
+    if (hs.size() < rs.size()) {
+      add(report, "replica_count", rs.empty() ? kNoPeer : rs.front(),
+          "d_id " + std::to_string(id_value) + " on >= " +
+              std::to_string(rs.size()) + " live holders",
+          std::to_string(hs.size()) + " live holders",
+          "replication_factor " + std::to_string(params.replication_factor));
+    }
   }
 }
 

@@ -126,6 +126,7 @@ class OverlayAuditor {
   void check_fingers(AuditReport& report);
   void check_trees(AuditReport& report);
   void check_placement(AuditReport& report);
+  void check_replication(AuditReport& report);
   void check_network(AuditReport& report);
 
   /// True while some registered t-peer is visibly mid-transition (mutex

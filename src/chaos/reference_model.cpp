@@ -50,6 +50,37 @@ bool ReferenceModel::holder_within(PeerIndex start, DataId id,
   return false;
 }
 
+bool ReferenceModel::repair_active() const {
+  const auto& params = system_.params();
+  return params.replication_factor >= 2 &&
+         params.anti_entropy_period > sim::Duration{} &&
+         params.style != hybrid::SNetworkStyle::kBitTorrent;
+}
+
+bool ReferenceModel::replica_restorable(DataId id, PeerIndex owner) const {
+  for (const PeerIndex h : live_holders(id)) {
+    if (chain_root(h) == owner) return true;
+    if (system_.role_of(h) == hybrid::Role::kTPeer &&
+        system_.successor_of(owner) == h) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint32_t ReferenceModel::chain_depth(PeerIndex origin) const {
+  PeerIndex at = origin;
+  for (std::size_t hops = 0; hops <= system_.num_peers(); ++hops) {
+    if (!live_member(system_, at)) break;
+    if (system_.role_of(at) == hybrid::Role::kTPeer) {
+      return static_cast<std::uint32_t>(hops);
+    }
+    at = system_.parent_of(at);
+    if (at == kNoPeer) break;
+  }
+  return static_cast<std::uint32_t>(system_.num_peers() + 1);
+}
+
 PeerIndex ReferenceModel::chain_root(PeerIndex origin) const {
   PeerIndex at = origin;
   for (std::size_t hops = 0; hops <= system_.num_peers(); ++hops) {
@@ -82,6 +113,13 @@ Expectation ReferenceModel::classify(PeerIndex origin, DataId id) const {
     // Local-segment lookup: a flood from the origin must find a holder
     // within reach.  The flood starts at the origin, not the root.
     if (holder_within(origin, id, ttl)) return {true, "local_flood"};
+    // With repair running, a restorable replica MUST be back at the owner
+    // (= this origin's root) by quiescence, so the flood finds it as long
+    // as the root itself is within reach.
+    if (repair_active() && replica_restorable(id, owner) &&
+        chain_depth(origin) <= ttl) {
+      return {true, "replica_local"};
+    }
     return {false, "holder_beyond_ttl"};
   }
 
@@ -90,6 +128,11 @@ Expectation ReferenceModel::classify(PeerIndex origin, DataId id) const {
   if (!system_.verify_ring()) return {false, "ring_inconsistent"};
   if (!live_member(system_, owner)) return {false, "owner_down"};
   if (holder_within(owner, id, ttl)) return {true, "remote_flood"};
+  // Structurally sound route to a live owner whose sweep reaches a replica:
+  // the primary MUST be restored by quiescence (flood depth 0 at the owner).
+  if (repair_active() && replica_restorable(id, owner)) {
+    return {true, "replica_remote"};
+  }
   return {false, "holder_beyond_ttl"};
 }
 

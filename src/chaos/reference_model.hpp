@@ -51,6 +51,17 @@ class ReferenceModel {
   /// `start` (flood reachability over cp/children edges).
   [[nodiscard]] bool holder_within(PeerIndex start, DataId id,
                                    std::uint32_t ttl) const;
+  /// True iff the system's repair machinery is obliged to restore primaries
+  /// by quiescence: r >= 2 and the anti-entropy sweep is running.
+  [[nodiscard]] bool repair_active() const;
+  /// True iff a live holder of `id` sits where `owner`'s anti-entropy sweep
+  /// reaches it: inside owner's s-network (chain root == owner) or at the
+  /// successor fallback holder.  Such a copy MUST be back at the owner by
+  /// quiescence.
+  [[nodiscard]] bool replica_restorable(DataId id, PeerIndex owner) const;
+  /// Hops along the cp chain from `origin` up to its root t-peer
+  /// (0 for a t-peer); num_peers()+1 when the chain is severed.
+  [[nodiscard]] std::uint32_t chain_depth(PeerIndex origin) const;
   /// Root t-peer of origin's s-network via the cp chain; kNoPeer when the
   /// chain is severed, leaves the live set, or cycles.
   [[nodiscard]] PeerIndex chain_root(PeerIndex origin) const;

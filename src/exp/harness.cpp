@@ -4,6 +4,7 @@
 #include <chrono>
 #include <iostream>
 #include <optional>
+#include <set>
 
 #include "audit/overlay_auditor.hpp"
 #include "common/env.hpp"
@@ -354,6 +355,28 @@ RunResult run_hybrid_experiment(const RunConfig& raw_config) {
   result.bypass_uses = system.bypass_uses();
   result.max_answers_served = system.max_answers_served();
   result.cache_hits = system.cache_hits();
+  result.replica_pushes = system.replica_pushes();
+  result.re_replication_pushes = system.re_replication_pushes();
+  result.anti_entropy_repairs = system.anti_entropy_repairs();
+  result.read_repairs = system.read_repairs();
+  {
+    // Durability census: which stored ids does some live joined peer still
+    // hold?  Ordered set keeps the scan deterministic and dedups the corpus
+    // (interest-band collisions can store one id twice).
+    std::set<std::uint64_t> stored;
+    for (const DataId id : stored_ids) stored.insert(id.value());
+    std::set<std::uint64_t> recoverable;
+    for (const PeerIndex p : system.live_peers()) {
+      if (!system.is_joined(p)) continue;
+      system.store_of(p).for_each([&](const proto::DataItem& item) {
+        if (stored.count(item.id.value()) > 0) {
+          recoverable.insert(item.id.value());
+        }
+      });
+    }
+    result.items_stored = stored.size();
+    result.items_recoverable = recoverable.size();
+  }
   if (network.link_stress() != nullptr) {
     result.mean_link_stress = network.link_stress()->mean_stress();
   }

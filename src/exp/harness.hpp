@@ -155,6 +155,22 @@ struct RunResult {
   /// when auditing was not enabled for this replica).
   std::uint64_t audit_runs = 0;
   std::uint64_t audit_violations = 0;
+  /// Durability accounting: distinct ids the populate phase stored, and how
+  /// many of them some live joined peer still holds at the end of the run.
+  std::size_t items_stored = 0;
+  std::size_t items_recoverable = 0;
+  /// Replication machinery counters (all 0 with replication_factor = 1).
+  std::uint64_t replica_pushes = 0;
+  std::uint64_t re_replication_pushes = 0;
+  std::uint64_t anti_entropy_repairs = 0;
+  std::uint64_t read_repairs = 0;
+
+  /// Fraction of stored ids still recoverable (1.0 for an empty corpus).
+  [[nodiscard]] double data_availability() const {
+    if (items_stored == 0) return 1.0;
+    return static_cast<double>(items_recoverable) /
+           static_cast<double>(items_stored);
+  }
 
   /// Table 2's metric: total peers contacted across all lookups.
   [[nodiscard]] std::uint64_t connum() const {

@@ -78,6 +78,7 @@ void collect_run_config(stats::MetricsRegistry& reg, const std::string& prefix,
   reg.set(joined(prefix, "zipf_exponent"), c.zipf_exponent);
   reg.set(joined(prefix, "ps"), c.hybrid.ps);
   reg.set(joined(prefix, "delta"), c.hybrid.delta);
+  reg.set(joined(prefix, "replication_factor"), c.hybrid.replication_factor);
   reg.set(joined(prefix, "ttl"), c.hybrid.ttl);
   reg.set(joined(prefix, "bypass_links"), c.hybrid.bypass_links);
   reg.set(joined(prefix, "enable_caching"), c.hybrid.enable_caching);
@@ -118,6 +119,18 @@ void collect_run_result(stats::MetricsRegistry& reg, const std::string& prefix,
   reg.set(joined(prefix, "mean_speer_traffic"), r.mean_speer_traffic);
   reg.set(joined(prefix, "audit.runs"), r.audit_runs);
   reg.set(joined(prefix, "audit.violations"), r.audit_violations);
+  reg.set(joined(prefix, "replication.replica_pushes"), r.replica_pushes);
+  reg.set(joined(prefix, "replication.re_replication_pushes"),
+          r.re_replication_pushes);
+  reg.set(joined(prefix, "replication.anti_entropy_repairs"),
+          r.anti_entropy_repairs);
+  reg.set(joined(prefix, "replication.read_repairs"), r.read_repairs);
+  reg.set(joined(prefix, "replication.items_stored"),
+          static_cast<std::uint64_t>(r.items_stored));
+  reg.set(joined(prefix, "replication.items_recoverable"),
+          static_cast<std::uint64_t>(r.items_recoverable));
+  reg.set(joined(prefix, "replication.data_availability"),
+          r.data_availability());
 }
 
 }  // namespace hp2p::exp

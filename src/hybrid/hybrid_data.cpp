@@ -47,7 +47,8 @@ void HybridSystem::store_id(PeerIndex from, DataId id, const std::string& key,
   if (in_local_segment(p, id)) {
     // "If the d_id lies in the range of the current s-network, the data item
     // is inserted to its database" -- the generating peer keeps it.
-    p.store.insert(std::move(item));
+    replicate_item(from, item);
+    store_or_merge(p, std::move(item));
     if (params_.style == SNetworkStyle::kBitTorrent &&
         p.role == Role::kSPeer) {
       // Report to the tracker (the t-peer).
@@ -260,7 +261,11 @@ void HybridSystem::place_item(PeerIndex at, proto::DataItem item,
   }
   if (params_.placement == PlacementScheme::kTPeerStores) {
     const PeerIndex origin = item.origin;
-    t.store.insert(std::move(item));
+    // The responsible t-peer's copy is primary by definition; a stale
+    // replica routed home regains primary status and re-fans out.
+    if (replication_active()) item.replica = false;
+    replicate_item(at, item);
+    store_or_merge(t, std::move(item));
     if (params_.bypass_links) maybe_add_bypass(origin, at);
     if (done) done();
     return;
@@ -310,7 +315,9 @@ void HybridSystem::route_and_place(PeerIndex from, proto::DataItem item) {
                    });
       },
       0,
-      [this, from, boxed] { peer(from).store.insert(std::move(*boxed)); });
+      [this, from, boxed] {
+        store_or_merge(peer(from), std::move(*boxed));
+      });
 }
 
 void HybridSystem::insert_or_rehome(PeerIndex at, proto::DataItem item) {
@@ -324,8 +331,15 @@ void HybridSystem::insert_or_rehome(PeerIndex at, proto::DataItem item) {
   // Segment unknown (root unresolved / mid-join): keep the item here rather
   // than bouncing it through a half-built topology.
   const PeerIndex root = p.tpeer;
-  if (root == kNoPeer || !peer(root).joined || in_local_segment(p, item.id)) {
-    p.store.insert(std::move(item));
+  if (root == kNoPeer || !peer(root).joined) {
+    store_or_merge(p, std::move(item));
+    return;
+  }
+  if (in_local_segment(p, item.id)) {
+    // A primary item arriving in its home segment (leave handover, segment
+    // transfer on join, re-homing) re-establishes its replica set.
+    replicate_item(at, item);
+    store_or_merge(p, std::move(item));
     return;
   }
   route_and_place(at, std::move(item));
@@ -342,7 +356,20 @@ void HybridSystem::rehome_foreign_items(PeerIndex at) {
   // (single t-peer ring) has no foreign items by definition.
   if (t.predecessor_id == t.pid) return;
   auto foreign = p.store.extract_arc(t.pid, t.predecessor_id);
-  for (auto& item : foreign) route_and_place(at, std::move(item));
+  for (auto& item : foreign) {
+    if (replication_active() && item.replica &&
+        is_fallback_holder(at, item.id)) {
+      // Designated successor fallback for a too-small neighbor segment: the
+      // replica lives here on purpose; re-routing it home would ping-pong
+      // against the sweep that pushes it right back.
+      p.store.insert(std::move(item));
+      continue;
+    }
+    // Primary items and stale replicas (their segment moved away) both
+    // travel to the current owner -- a replica may be the last surviving
+    // copy after a crash, so it is preserved, not dropped.
+    route_and_place(at, std::move(item));
+  }
 }
 
 // --- Bypass links (Section 5.4) ----------------------------------------------------
@@ -684,6 +711,9 @@ bool HybridSystem::try_answer(PeerIndex at, std::uint64_t qid,
   if (item == nullptr) return false;
   ++peer(at).answers_served;
   if (from_cache) ++cache_hits_;
+  // Read-repair: a hit on a non-primary replica means the owner lost (or
+  // never received) its copy; restore it while the item is in hand.
+  if (!from_cache) maybe_read_repair(at, *item);
   const PeerIndex origin = q.origin;
   if (tracer_ != nullptr && q.trace.valid()) {
     // The answer travelling home is its own stage: whatever stage found the

@@ -384,6 +384,9 @@ void HybridSystem::run_join_triangle(PeerIndex pre, PendingJoin req) {
         registry_insert(nn2.pid, joiner);
         snetwork_size_[joiner.value()] = 0;
         if (failure_detection_) heartbeat_tick(joiner);
+        // The joiner carved a segment out of its successor's: rebuild the
+        // replica sets on both sides of the new boundary.
+        trigger_re_replication(joiner);
         if (req->done) {
           req->done(proto::JoinResult{sim_.now() - req->started, req->hops});
         }
@@ -586,26 +589,84 @@ void HybridSystem::leave(PeerIndex leaving) {
 void HybridSystem::speer_leave(PeerIndex leaving) {
   Peer& p = peer(leaving);
   p.joined = false;
+  // The leaver stays alive (but marked) until an heir acks the handoff;
+  // the mark keeps the heartbeat orphan-retry from resurrecting it and
+  // tells other leavers not to pick it as their heir.
+  p.leaving_mutex = true;
   const PeerIndex root = p.tpeer;
   if (snetwork_size_.count(root.value()) != 0 &&
       snetwork_size_[root.value()] > 0) {
     --snetwork_size_[root.value()];
   }
 
-  // Transfer load to a neighbour (Section 3.2.2): prefer the connect point.
-  PeerIndex heir = p.cp != kNoPeer ? p.cp
-                   : !p.children.empty() ? p.children.front()
-                                         : root;
-  auto items = p.store.extract_all();
-  if (!items.empty() && heir != kNoPeer && heir != leaving) {
-    net_.send(leaving, heir, TrafficClass::kData,
-              proto::kDataBytes * static_cast<std::uint32_t>(items.size()),
-              [this, heir, items = std::move(items)]() mutable {
-                for (auto& item : items) insert_or_rehome(heir, std::move(item));
-              });
-  }
+  // Transfer load to a neighbour (Section 3.2.2): prefer the connect point,
+  // then children, then the root.  The candidate list is fixed before the
+  // tree links are torn down; the handoff walks it until a live heir acks.
+  auto candidates = std::make_shared<std::vector<PeerIndex>>();
+  if (p.cp != kNoPeer) candidates->push_back(p.cp);
+  candidates->insert(candidates->end(), p.children.begin(), p.children.end());
+  if (root != kNoPeer) candidates->push_back(root);
+
+  auto items =
+      std::make_shared<std::vector<proto::DataItem>>(p.store.extract_all());
   detach_from_tree(leaving, /*notify_children=*/true);
-  net_.set_alive(leaving, false);
+  if (items->empty()) {
+    net_.set_alive(leaving, false);
+    return;
+  }
+  speer_leave_handoff(leaving, std::move(candidates), 0, std::move(items));
+}
+
+void HybridSystem::speer_leave_handoff(
+    PeerIndex leaving, std::shared_ptr<std::vector<PeerIndex>> candidates,
+    std::size_t next, std::shared_ptr<std::vector<proto::DataItem>> items) {
+  // Skip candidates that are already gone (or themselves mid-leave: a heir
+  // that is draining its own store would just re-hand our items again, and
+  // one that dies before our transfer lands would lose them silently).
+  while (next < candidates->size()) {
+    const PeerIndex c = (*candidates)[next];
+    if (c != kNoPeer && c != leaving && net_.alive(c) && peer(c).joined &&
+        !peer(c).leaving_mutex) {
+      break;
+    }
+    ++next;
+  }
+  if (next >= candidates->size()) {
+    // Every neighbour is gone; nobody can take the load (same outcome as
+    // crashing with it).
+    net_.set_alive(leaving, false);
+    return;
+  }
+  const PeerIndex heir = (*candidates)[next];
+  const auto bytes =
+      proto::kDataBytes * static_cast<std::uint32_t>(items->size());
+  auto acked = std::make_shared<bool>(false);
+  net_.send(leaving, heir, TrafficClass::kData, bytes,
+            [this, heir, leaving, items, acked] {
+              // Delivered, but the heir may have started leaving while the
+              // transfer was in flight; refuse so the watchdog re-hands.
+              if (!peer(heir).joined || peer(heir).leaving_mutex) return;
+              for (const auto& item : *items) {
+                insert_or_rehome(heir, item);
+              }
+              trigger_re_replication(heir);
+              net_.send(heir, leaving, TrafficClass::kControl,
+                        proto::kControlBytes, [this, leaving, acked] {
+                          *acked = true;
+                          net_.set_alive(leaving, false);
+                        });
+            });
+  // Watchdog: delivery closures of dead receivers never run, so an unacked
+  // transfer after a full round trip (plus slack) means the heir crashed
+  // with the items in flight -- re-hand them to the next candidate.
+  const sim::Duration wait = net_.hop_latency(leaving, heir, bytes) +
+                             net_.hop_latency(heir, leaving,
+                                              proto::kControlBytes) +
+                             params_.ring_retry_base;
+  sim_.schedule_after(wait, [this, leaving, candidates, next, items, acked] {
+    if (*acked) return;
+    speer_leave_handoff(leaving, candidates, next + 1, items);
+  });
 }
 
 void HybridSystem::detach_from_tree(PeerIndex p_idx, bool notify_children) {
@@ -828,6 +889,10 @@ void HybridSystem::promote_speer(PeerIndex heir, PeerIndex old_t,
     net_.set_alive(old_t, false);
   }
   if (failure_detection_) heartbeat_tick(heir);
+  // The segment changed hands: re-establish its replica sets (the crash
+  // path in particular promotes WITHOUT data, so the survivors' copies are
+  // what restores the heir's store).
+  trigger_re_replication(heir);
   process_pending_joins(heir);
 }
 
@@ -1135,7 +1200,7 @@ void HybridSystem::heartbeat_step(PeerIndex p_idx) {
   // Orphaned s-peer: a crashed parent (or a rejoin whose acceptance never
   // arrived) leaves cp == kNoPeer and nothing else will ever re-attach it.
   // Retry once per hello_timeout.
-  if (p.role == Role::kSPeer && p.cp == kNoPeer &&
+  if (p.role == Role::kSPeer && p.cp == kNoPeer && !p.leaving_mutex &&
       sim::expired(p.last_rejoin_attempt + params_.hello_timeout, now)) {
     p.last_rejoin_attempt = now;
     p.joined = true;  // a wedged half-rejoin left it unjoined; it is a member
@@ -1150,6 +1215,15 @@ void HybridSystem::heartbeat_step(PeerIndex p_idx) {
   // back to a local insert when the upward path is dead); push them home
   // once per beat.  No-op while everything is placed correctly.
   rehome_foreign_items(p_idx);
+  // Anti-entropy: each t-peer root periodically exchanges its in-segment
+  // digest with the s-network so lost replicas are re-pushed.  Strictly
+  // gated: at r = 1 this neither reads nor writes any state.
+  if (replication_active() && p.role == Role::kTPeer &&
+      params_.anti_entropy_period > sim::Duration{} &&
+      sim::expired(p.last_sweep + params_.anti_entropy_period, now)) {
+    p.last_sweep = now;
+    replication_sweep(p_idx);
+  }
   sim_.schedule_after(params_.hello_interval,
                       [this, p_idx] { heartbeat_step(p_idx); });
 }
@@ -1240,6 +1314,11 @@ void HybridSystem::on_neighbor_dead(PeerIndex at, PeerIndex dead) {
   Peer& p = peer(at);
   p.last_heard.erase(dead.value());
   p.last_sent.erase(dead.value());
+
+  // Whatever repair the branches below perform, the dead neighbor may have
+  // held replicas for this segment; schedule a sweep once the membership
+  // settles.
+  trigger_re_replication(at);
 
   // Child died: forget it; its own children will rejoin by themselves.
   auto& kids = p.children;

@@ -1,0 +1,230 @@
+// HybridSystem: segment-local replication and repair.
+//
+// Every stored item is kept on up to `replication_factor` holders inside its
+// owning segment: the responsible t-peer (primary) plus replica holders
+// chosen deterministically from its s-network, falling back to the successor
+// t-peer when the s-network is too small.  Re-replication hooks into the
+// churn paths (crash detection, promotion, leave handover, join segment
+// transfer), a periodic anti-entropy sweep exchanges per-segment store
+// digests along s-network edges, and lookups answered from a non-primary
+// replica trigger read-repair at the owner.
+//
+// Everything here is gated on replication_active(): with r = 1 no message,
+// rng draw, or timer differs from the unreplicated system.
+#include <algorithm>
+#include <memory>
+
+#include "hybrid/hybrid_system.hpp"
+
+namespace hp2p::hybrid {
+
+using proto::TrafficClass;
+
+std::vector<PeerIndex> HybridSystem::replica_set(DataId id) const {
+  std::vector<PeerIndex> out;
+  const PeerIndex owner = registry_owner(id.value());
+  if (owner == kNoPeer) return out;
+  out.push_back(owner);
+  const unsigned r = params_.replication_factor;
+  if (r <= 1) return out;
+  // Rank the owner's live members by a per-id hash so each item picks its
+  // own holders (spreading replica load) while the choice stays a pure
+  // function of the overlay state.  Ties break on the peer index.
+  std::vector<std::pair<std::uint64_t, PeerIndex>> ranked;
+  for (const PeerIndex m : snetwork_members(owner)) {
+    if (m == owner || !net_.alive(m) || !peer(m).joined) continue;
+    ranked.emplace_back(mix64(id.value() ^ mix64(m.value())), m);
+  }
+  std::sort(ranked.begin(), ranked.end());
+  for (const auto& [hash, m] : ranked) {
+    if (out.size() >= r) break;
+    out.push_back(m);
+  }
+  if (out.size() < r) {
+    // S-network too small: the successor t-peer stands in as a fallback
+    // holder so a lone t-peer's segment still survives its crash.
+    const PeerIndex suc = peer(owner).successor;
+    if (suc != kNoPeer && suc != owner && net_.alive(suc) &&
+        peer(suc).joined) {
+      out.push_back(suc);
+    }
+  }
+  return out;
+}
+
+bool HybridSystem::is_fallback_holder(PeerIndex at, DataId id) const {
+  const Peer& p = peer(at);
+  if (p.role != Role::kTPeer || !p.joined) return false;
+  const PeerIndex owner = registry_owner(id.value());
+  if (owner == kNoPeer || owner == at) return false;
+  return peer(owner).successor == at;
+}
+
+void HybridSystem::store_or_merge(Peer& p, proto::DataItem item) {
+  if (replication_active()) {
+    p.store.merge(std::move(item));
+  } else {
+    p.store.insert(std::move(item));
+  }
+}
+
+void HybridSystem::replicate_item(PeerIndex at, const proto::DataItem& item) {
+  if (!replication_active() || item.replica) return;
+  const PeerIndex owner = registry_owner(item.id.value());
+  if (owner == kNoPeer) return;
+  for (const PeerIndex m : replica_set(item.id)) {
+    if (m == at || !net_.alive(m) || !peer(m).joined) continue;
+    proto::DataItem copy = item;
+    // The copy at the owner is the primary; everyone else holds replicas.
+    copy.replica = (m != owner);
+    ++replica_pushes_;
+    net_.send(at, m, TrafficClass::kData, proto::kDataBytes,
+              [this, m, copy = std::move(copy)]() mutable {
+                if (!peer(m).joined) return;
+                peer(m).store.merge(std::move(copy));
+              });
+  }
+}
+
+void HybridSystem::maybe_read_repair(PeerIndex at,
+                                     const proto::DataItem& item) {
+  if (!replication_active() || !item.replica) return;
+  const PeerIndex owner = registry_owner(item.id.value());
+  if (owner == kNoPeer || owner == at) return;
+  if (!net_.alive(owner) || !peer(owner).joined) return;
+  proto::DataItem copy = item;
+  copy.replica = false;  // restoring the primary
+  net_.send(at, owner, TrafficClass::kData, proto::kDataBytes,
+            [this, owner, copy = std::move(copy)]() mutable {
+              if (!peer(owner).joined) return;
+              if (peer(owner).store.merge(std::move(copy))) ++read_repairs_;
+            });
+}
+
+void HybridSystem::trigger_re_replication(PeerIndex at) {
+  if (!replication_active() || !params_.re_replicate_on_churn) return;
+  const Peer& p = peer(at);
+  const PeerIndex root = p.role == Role::kTPeer ? at : p.tpeer;
+  if (root == kNoPeer) return;
+  // One hello interval of slack lets the membership repair that triggered
+  // us (pointer adoption, re-parenting) land before the digest round.
+  sim_.schedule_after(params_.hello_interval,
+                      [this, root] { replication_sweep(root); });
+}
+
+void HybridSystem::replication_sweep(PeerIndex root) {
+  if (!replication_active()) return;
+  Peer& t = peer(root);
+  if (!net_.alive(root) || !t.joined || t.role != Role::kTPeer) return;
+  auto digest = std::make_shared<const std::vector<DataId>>(
+      t.store.ids_in_arc(t.predecessor_id, t.pid));
+  std::vector<PeerIndex> targets;
+  for (const PeerIndex m : snetwork_members(root)) {
+    if (m == root || !net_.alive(m) || !peer(m).joined) continue;
+    targets.push_back(m);
+  }
+  if (targets.size() + 1 < params_.replication_factor) {
+    const PeerIndex suc = t.successor;
+    if (suc != kNoPeer && suc != root && net_.alive(suc) &&
+        peer(suc).joined) {
+      targets.push_back(suc);
+    }
+  }
+  const auto digest_bytes = static_cast<std::uint32_t>(
+      proto::kControlBytes + 8 * digest->size());
+  for (const PeerIndex m : targets) {
+    net_.send(root, m, TrafficClass::kControl, digest_bytes,
+              [this, m, root, digest] { sweep_at_member(m, root, digest); });
+  }
+}
+
+void HybridSystem::sweep_at_member(
+    PeerIndex member, PeerIndex root,
+    std::shared_ptr<const std::vector<DataId>> digest) {
+  Peer& m = peer(member);
+  Peer& t = peer(root);
+  if (!m.joined || !net_.alive(root) || !t.joined ||
+      t.role != Role::kTPeer) {
+    return;
+  }
+  const PeerId lo = t.predecessor_id;
+  const PeerId hi = t.pid;
+  const auto in_digest = [&digest](DataId id) {
+    return std::binary_search(digest->begin(), digest->end(), id);
+  };
+
+  // Direction 1: in-segment items the root lacks travel up.  The root is
+  // the owner, so these restore the primary copy; the merge at the root
+  // fans the item back out to the rest of its replica set.
+  std::vector<proto::DataItem> push;
+  m.store.for_each([&](const proto::DataItem& item) {
+    if (!ring::in_arc_open_closed(item.id.value(), lo.value(), hi.value())) {
+      return;
+    }
+    if (in_digest(item.id)) return;
+    proto::DataItem copy = item;
+    copy.replica = false;
+    push.push_back(std::move(copy));
+  });
+  if (!push.empty()) {
+    re_replication_pushes_ += push.size();
+    net_.send(member, root, TrafficClass::kData,
+              proto::kDataBytes * static_cast<std::uint32_t>(push.size()),
+              [this, root, push = std::move(push)]() mutable {
+                Peer& rt = peer(root);
+                if (!rt.joined) return;
+                for (auto& item : push) {
+                  const proto::DataItem primary = item;
+                  if (rt.store.merge(std::move(item))) {
+                    ++anti_entropy_repairs_;
+                    replicate_item(root, primary);
+                  }
+                }
+              });
+  }
+
+  // Direction 2: digest ids this member should hold (it is in the replica
+  // set, or it is the successor fallback) but doesn't travel down.
+  std::vector<DataId> want;
+  for (const DataId id : *digest) {
+    if (m.store.contains(id)) continue;
+    const auto rs = replica_set(id);
+    if (std::find(rs.begin(), rs.end(), member) != rs.end()) {
+      want.push_back(id);
+    }
+  }
+  if (want.empty()) return;
+  const auto want_bytes = static_cast<std::uint32_t>(
+      proto::kControlBytes + 8 * want.size());
+  net_.send(member, root, TrafficClass::kControl, want_bytes,
+            [this, member, root, want = std::move(want)] {
+              Peer& rt = peer(root);
+              if (!rt.joined || !net_.alive(member) || !peer(member).joined) {
+                return;
+              }
+              std::vector<proto::DataItem> fill;
+              for (const DataId id : want) {
+                const proto::DataItem* item = rt.store.find(id);
+                if (item == nullptr) continue;
+                proto::DataItem copy = *item;
+                copy.replica = true;
+                fill.push_back(std::move(copy));
+              }
+              if (fill.empty()) return;
+              re_replication_pushes_ += fill.size();
+              net_.send(root, member, TrafficClass::kData,
+                        proto::kDataBytes *
+                            static_cast<std::uint32_t>(fill.size()),
+                        [this, member, fill = std::move(fill)]() mutable {
+                          Peer& mm = peer(member);
+                          if (!mm.joined) return;
+                          for (auto& item : fill) {
+                            if (mm.store.merge(std::move(item))) {
+                              ++anti_entropy_repairs_;
+                            }
+                          }
+                        });
+            });
+}
+
+}  // namespace hp2p::hybrid

@@ -221,6 +221,30 @@ class HybridSystem {
     return registry_owner(id.value());
   }
 
+  // --- Data durability (segment-local replication) ------------------------------
+
+  /// Deterministic replica set for `id`: the owning t-peer first, then up to
+  /// replication_factor - 1 live members of its s-network ranked by a
+  /// per-id hash, then the successor t-peer as a fallback when the s-network
+  /// is too small.  Depends only on the current overlay state, never on rng.
+  [[nodiscard]] std::vector<PeerIndex> replica_set(DataId id) const;
+
+  /// Replica copies pushed when a primary item lands in its home segment.
+  [[nodiscard]] std::uint64_t replica_pushes() const {
+    return replica_pushes_;
+  }
+  /// Copies re-pushed by anti-entropy sweeps / churn-triggered repair.
+  [[nodiscard]] std::uint64_t re_replication_pushes() const {
+    return re_replication_pushes_;
+  }
+  /// Sweep-pushed copies that actually filled a hole at the receiver.
+  [[nodiscard]] std::uint64_t anti_entropy_repairs() const {
+    return anti_entropy_repairs_;
+  }
+  /// Primary copies restored at the owner after a lookup was answered from
+  /// a non-primary replica.
+  [[nodiscard]] std::uint64_t read_repairs() const { return read_repairs_; }
+
   /// Bulk-refreshes every t-peer's finger table from the server registry.
   /// Stand-in for Chord's background fix_fingers: the hybrid paper keeps
   /// finger maintenance out of scope (substitution updates aside), so
@@ -313,6 +337,8 @@ class HybridSystem {
     /// Last time this orphaned s-peer asked to rejoin a tree; throttles the
     /// heartbeat-driven re-attach retry to one request per hello_timeout.
     sim::SimTime last_rejoin_attempt{};
+    /// Last anti-entropy sweep started by this t-peer (replication only).
+    sim::SimTime last_sweep{};
   };
 
   struct Query {
@@ -376,6 +402,14 @@ class HybridSystem {
 
   void tpeer_leave(PeerIndex leaving);
   void speer_leave(PeerIndex leaving);
+  /// Hands a leaving s-peer's items to the first live candidate, retrying
+  /// down the list when the transfer is never acknowledged (the chosen heir
+  /// crashed or left with the kData message in flight).  The leaver only
+  /// goes dark once an heir acked receipt -- or every candidate is gone.
+  void speer_leave_handoff(PeerIndex leaving,
+                           std::shared_ptr<std::vector<PeerIndex>> candidates,
+                           std::size_t next,
+                           std::shared_ptr<std::vector<proto::DataItem>> items);
   /// Promotes s-peer `heir` into the ring position of `old_t` (graceful
   /// role transfer or crash replacement).  `with_data` carries old_t's
   /// store across (graceful only).
@@ -444,6 +478,40 @@ class HybridSystem {
   /// Re-homes every stored item at `at` that falls outside its s-network's
   /// segment (called after `at` lands in a possibly different s-network).
   void rehome_foreign_items(PeerIndex at);
+
+  // --- Replication (segment-local durability) ----------------------------------
+
+  /// True when the replication layer is on at all: r > 1 and a style whose
+  /// placement the replica set can reason about (tracker mode indexes every
+  /// copy explicitly, so it is excluded).
+  [[nodiscard]] bool replication_active() const {
+    return params_.replication_factor > 1 &&
+           params_.style != SNetworkStyle::kBitTorrent;
+  }
+  /// Pushes replica-tagged copies of a freshly placed primary item to the
+  /// other members of its replica set.  No-op when replication is off or
+  /// `item` is itself a replica copy (no fan-out cascades).
+  void replicate_item(PeerIndex at, const proto::DataItem& item);
+  /// Idempotent local insert on the replication paths: merge (dedup by
+  /// id + key) when replication is active, plain insert otherwise -- the
+  /// r = 1 byte-identity guarantee keeps insert() on the legacy path.
+  void store_or_merge(Peer& p, proto::DataItem item);
+  /// One anti-entropy round started by t-peer `root`: the root sends its
+  /// in-segment id digest to every live member (plus the successor fallback
+  /// when the s-network is too small); members push items the root lacks and
+  /// request in-segment items they should hold but don't.
+  void replication_sweep(PeerIndex root);
+  void sweep_at_member(PeerIndex member, PeerIndex root,
+                       std::shared_ptr<const std::vector<DataId>> digest);
+  /// Schedules a near-term sweep at `at`'s root after a churn event
+  /// (gated on re_replicate_on_churn).
+  void trigger_re_replication(PeerIndex at);
+  /// True when `at` is the designated successor-fallback holder for `id`
+  /// (the owner's successor t-peer, standing in for a too-small s-network).
+  [[nodiscard]] bool is_fallback_holder(PeerIndex at, DataId id) const;
+  /// Restores the primary copy at the owner after `item` answered a lookup
+  /// from a non-primary replica at `at`.
+  void maybe_read_repair(PeerIndex at, const proto::DataItem& item);
 
   /// Dispatches to flood() or random walks per params_.s_search.
   void search_snetwork(PeerIndex at, PeerIndex from, std::uint64_t qid,
@@ -516,6 +584,10 @@ class HybridSystem {
   std::uint64_t bypass_installs_ = 0;
   std::uint64_t bypass_uses_ = 0;
   std::uint64_t cache_hits_ = 0;
+  std::uint64_t replica_pushes_ = 0;
+  std::uint64_t re_replication_pushes_ = 0;
+  std::uint64_t anti_entropy_repairs_ = 0;
+  std::uint64_t read_repairs_ = 0;
   stats::SpanRecorder* tracer_ = nullptr;
   FloodObserver flood_observer_;
 

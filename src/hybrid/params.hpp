@@ -106,6 +106,25 @@ struct HybridParams {
   sim::Duration ring_retry_base = sim::SimTime::millis(500);
   sim::Duration ring_retry_cap = sim::SimTime::seconds(4);
 
+  /// Data durability: every stored item is kept on up to `replication_factor`
+  /// holders inside its owning segment -- the responsible t-peer plus replica
+  /// holders chosen deterministically from its s-network, falling back to the
+  /// successor t-peer when the s-network is too small.  r = 1 preserves the
+  /// unreplicated behavior bit-for-bit: no replica copies, no sweeps, no
+  /// read-repair, and no extra messages or rng draws anywhere.
+  unsigned replication_factor = 1;
+  /// Anti-entropy period: each t-peer root exchanges per-segment store
+  /// digests with its s-network members (piggybacked on the heartbeat loop)
+  /// and missing items are re-pushed.  0 disables the sweep -- the chaos
+  /// canary uses this to prove the verification stack catches a broken
+  /// repair path.  Only active when replication_factor > 1.
+  sim::Duration anti_entropy_period = sim::SimTime::seconds(5);
+  /// Trigger an immediate repair sweep from the churn paths (crash
+  /// detection, s-peer promotion, leave handover, join segment transfer)
+  /// instead of waiting for the next periodic sweep.  Only active when
+  /// replication_factor > 1.
+  bool re_replicate_on_churn = true;
+
   /// In-s-network search strategy; random walks trade latency/recall for
   /// bandwidth.
   SSearch s_search = SSearch::kFlood;

@@ -23,6 +23,11 @@ struct DataItem {
   std::string key;           // label/name (e.g. file name)
   std::uint64_t value = 0;   // opaque content token
   PeerIndex origin = kNoPeer;  // peer that generated the item
+  /// Replication tag: true for a non-primary copy held purely for
+  /// durability.  Replica copies answer lookups like any other item but are
+  /// exempt from re-homing (a replica legitimately lives away from the copy
+  /// that owns its placement).
+  bool replica = false;
 };
 
 /// Id-indexed store; lookup by d_id is O(log n).  Distinct keys colliding on
@@ -53,6 +58,40 @@ class DataStore {
       if (item.key == key) return &item;
     }
     return nullptr;
+  }
+
+  [[nodiscard]] bool contains(DataId id) const {
+    return items_.find(id) != items_.end();
+  }
+
+  /// Idempotent insert used on the replication paths: a copy that matches an
+  /// existing (id, key) pair upgrades the stored item's primary-ness instead
+  /// of chaining a duplicate (primary wins over replica).  Returns true iff
+  /// the item was actually added.
+  bool merge(DataItem item) {
+    auto it = items_.find(item.id);
+    if (it != items_.end()) {
+      for (auto& existing : it->second) {
+        if (existing.key == item.key) {
+          existing.replica = existing.replica && item.replica;
+          return false;
+        }
+      }
+    }
+    insert(std::move(item));
+    return true;
+  }
+
+  /// Sorted ids held in the ring arc (from, to]; the anti-entropy digest.
+  [[nodiscard]] std::vector<DataId> ids_in_arc(PeerId from, PeerId to) const {
+    std::vector<DataId> out;
+    for (const auto& [id, chain] : items_) {
+      if (chain.empty()) continue;
+      if (ring::in_arc_open_closed(id.value(), from.value(), to.value())) {
+        out.push_back(id);
+      }
+    }
+    return out;
   }
 
   /// Removes and returns all items with d_id in the half-open ring arc

@@ -141,5 +141,43 @@ TEST(AvailabilityMatrix, MonotoneUnderTPeerCrashStorm) {
   }
 }
 
+TEST(AvailabilityMatrix, DataAvailabilityMonotoneInReplicationFactor) {
+  // Replication axis: same fixed shock, placement pinned to the scheme that
+  // concentrates data on the crashing role (t-peer stores), replication
+  // factor swept.  r = 2 must strictly beat r = 1 on data availability (the
+  // whole point of keeping a second in-segment copy), r = 3 must not lose
+  // to r = 2 beyond tolerance, and no cell may show protocol violations.
+  std::map<unsigned, Cell> by_r;
+  for (const unsigned r : {1u, 2u, 3u}) {
+    ChaosConfig cfg;
+    cfg.seed = 200;
+    cfg.ps = 0.5;
+    cfg.params.placement = hybrid::PlacementScheme::kTPeerStores;
+    cfg.params.replication_factor = r;
+    cfg.schedule = fixed_crash_storm();
+    cfg.storm_lookups = kStormLookups;
+    Cell cell;
+    cell.report = run_chaos(cfg);
+    const double issued = cell.report.must_issued + cell.report.may_issued;
+    const double failed = cell.report.must_failed + cell.report.may_failed;
+    cell.data_availability = issued > 0 ? (issued - failed) / issued : 0.0;
+    cell.service_ratio =
+        static_cast<double>(cell.report.storm_issued -
+                            cell.report.storm_failed) /
+        static_cast<double>(kStormLookups);
+    std::cout << "[cell] r=" << r << " data=" << cell.data_availability
+              << " service=" << cell.service_ratio << "\n";
+    EXPECT_TRUE(cell.report.clean())
+        << "r=" << r << " report: " << cell.report.to_json().dump(2);
+    EXPECT_EQ(cell.report.must_failed, 0u) << "r=" << r;
+    by_r[r] = std::move(cell);
+  }
+  EXPECT_GT(by_r[2].data_availability, by_r[1].data_availability)
+      << "r=2 must strictly improve data availability over r=1";
+  EXPECT_GE(by_r[3].data_availability,
+            by_r[2].data_availability - kTolerance);
+  EXPECT_GE(by_r[2].service_ratio, by_r[1].service_ratio - kTolerance);
+}
+
 }  // namespace
 }  // namespace hp2p::chaos

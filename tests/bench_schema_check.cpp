@@ -1,5 +1,5 @@
 // Standalone validator for the observability artifacts a traced bench run
-// leaves behind: the BENCH_*.json report (schema v2, with at least one
+// leaves behind: the BENCH_*.json report (schema v3, with at least one
 // sampled time-series block and the critical-path metrics) and the
 // TRACE_*.json catapult file (Perfetto-loadable: balanced async begin/end
 // pairs, metadata record, microsecond timestamps).  Used by the
@@ -33,8 +33,8 @@ int check_bench(const std::string& path) {
   const auto root = load(path);
   if (!root) return fail("cannot read or parse " + path);
   const auto* version = root->find_path("schema_version");
-  if (version == nullptr || version->as_int() != 2) {
-    return fail(path + ": schema_version must be 2");
+  if (version == nullptr || version->as_int() != 3) {
+    return fail(path + ": schema_version must be 3");
   }
   for (const char* field : {"bench", "seed", "config", "metrics", "tables"}) {
     if (root->find_path(field) == nullptr) {
@@ -71,6 +71,16 @@ int check_bench(const std::string& path) {
   }
   if (root->find_path("metrics.trace.total_ms.p95") == nullptr) {
     return fail(path + ": critical-path percentiles missing");
+  }
+  // v3: every collect_run_result export carries the replication namespace
+  // (counters are 0 at replication_factor = 1, but the keys must exist).
+  for (const char* field :
+       {"metrics.traced.replication.replica_pushes",
+        "metrics.traced.replication.items_stored",
+        "metrics.traced.replication.data_availability"}) {
+    if (root->find_path(field) == nullptr) {
+      return fail(path + ": missing v3 field '" + std::string(field) + "'");
+    }
   }
   return 0;
 }

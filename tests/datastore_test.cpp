@@ -123,5 +123,40 @@ TEST(DataStore, ArcExtractionConservesItems) {
   }
 }
 
+TEST(DataStore, MergeDedupsByIdAndKeyWithPrimaryWinning) {
+  DataStore store;
+  DataItem replica{DataId{7}, "k", 1, kNoPeer};
+  replica.replica = true;
+  EXPECT_TRUE(store.merge(replica));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_TRUE(store.find(DataId{7})->replica);
+  // Same (id, key) as a primary: no new item, but primary-ness upgrades.
+  DataItem primary{DataId{7}, "k", 1, kNoPeer};
+  EXPECT_FALSE(store.merge(primary));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_FALSE(store.find(DataId{7})->replica);
+  // A replica never downgrades an existing primary.
+  EXPECT_FALSE(store.merge(replica));
+  EXPECT_FALSE(store.find(DataId{7})->replica);
+  // A colliding id with a distinct key still chains.
+  EXPECT_TRUE(store.merge(DataItem{DataId{7}, "other", 2, kNoPeer}));
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(DataStore, ContainsAndIdsInArc) {
+  DataStore store;
+  store.insert(DataItem{DataId{10}, "a", 0, kNoPeer});
+  store.insert(DataItem{DataId{900}, "b", 1, kNoPeer});
+  store.insert(DataItem{DataId{kRingSize - 5}, "c", 2, kNoPeer});
+  EXPECT_TRUE(store.contains(DataId{10}));
+  EXPECT_FALSE(store.contains(DataId{11}));
+  // Wrapping arc (kRingSize-10, 20]: catches both ends of the ring.
+  const auto digest = store.ids_in_arc(PeerId{kRingSize - 10}, PeerId{20});
+  ASSERT_EQ(digest.size(), 2u);
+  EXPECT_EQ(digest[0].value(), 10u);  // sorted by id
+  EXPECT_EQ(digest[1].value(), kRingSize - 5);
+  EXPECT_TRUE(store.ids_in_arc(PeerId{30}, PeerId{40}).empty());
+}
+
 }  // namespace
 }  // namespace hp2p::proto

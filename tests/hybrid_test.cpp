@@ -682,6 +682,48 @@ TEST(Hybrid, SPeerLeaveTransfersLoad) {
   EXPECT_EQ(f.system.total_items(), before);
 }
 
+TEST(Hybrid, SPeerLeaveSurvivesDeadHeirMidHandover) {
+  // Regression: the graceful-leave handover used to be fire-and-forget; if
+  // the chosen heir (the leaver's cp) crashed before the kData transfer
+  // landed, the leaver's items vanished silently.  The sender now waits for
+  // an ack and re-hands the load to the next live candidate.
+  auto params = defaults();
+  params.ps = 0.9;  // single t-peer, deep tree
+  params.delta = 2;
+  HybridFixture f{68, params};
+  f.build(10);
+  ASSERT_EQ(f.system.num_tpeers(), 1u);
+  // An s-peer whose cp is itself an s-peer: that parent is the handover's
+  // first-choice heir.
+  PeerIndex leaver = kNoPeer;
+  for (const auto p : f.peers) {
+    const PeerIndex cp = f.system.parent_of(p);
+    if (f.system.role_of(p) == Role::kSPeer && cp != kNoPeer &&
+        f.system.role_of(cp) == Role::kSPeer) {
+      leaver = p;
+      break;
+    }
+  }
+  ASSERT_NE(leaver, kNoPeer);
+  const PeerIndex heir = f.system.parent_of(leaver);
+  // One item, held by the leaver (single segment -> stores stay local).
+  f.system.store_id(leaver, DataId{12345}, "survivor", 7);
+  f.world.sim.run();
+  ASSERT_NE(f.system.store_of(leaver).find(DataId{12345}), nullptr);
+  // The heir crashes; the leave starts before anyone could have noticed.
+  f.system.crash(heir);
+  f.system.leave(leaver);
+  f.world.sim.run();
+  EXPECT_FALSE(f.system.is_joined(leaver));
+  bool held = false;
+  for (const auto p : f.peers) {
+    if (!f.system.is_alive(p) || !f.system.is_joined(p)) continue;
+    held |= f.system.store_of(p).find(DataId{12345}) != nullptr;
+  }
+  EXPECT_TRUE(held) << "handover to a dead heir lost the item";
+  EXPECT_EQ(f.system.total_items(), 1u);
+}
+
 // --- Crash handling ------------------------------------------------------------------
 
 TEST(Hybrid, CrashLosesOnlyTheVictimsData) {

@@ -134,6 +134,13 @@ TEST(MetricsCollect, RunResultAggregatesAllCounterStructs) {
                      static_cast<double>(r.network.reason_drops(reason)))
         << key;
   }
+  // v3 replication namespace is always exported (counters zero at r = 1).
+  EXPECT_DOUBLE_EQ(reg.number_or("run.replication.replica_pushes", -1), 0.0);
+  EXPECT_DOUBLE_EQ(reg.number_or("run.replication.items_stored", -1),
+                   static_cast<double>(r.items_stored));
+  EXPECT_DOUBLE_EQ(reg.number_or("run.replication.data_availability", -1),
+                   r.data_availability());
+  EXPECT_GT(r.items_stored, 0u);
 }
 
 TEST(MetricsCollect, TracedRunExportsCriticalPathAndTimeseries) {
@@ -196,7 +203,7 @@ TEST(Reporter, JsonMatchesSchema) {
   ASSERT_TRUE(root.is_object());
   EXPECT_EQ(root.find_path("schema_version")->as_int(),
             bench::Reporter::kSchemaVersion);
-  EXPECT_EQ(bench::Reporter::kSchemaVersion, 2);
+  EXPECT_EQ(bench::Reporter::kSchemaVersion, 3);
   EXPECT_EQ(root.find_path("bench")->as_string(), "selftest");
   EXPECT_EQ(root.find_path("seed")->as_int(), 7);
   EXPECT_EQ(root.find_path("config.peers")->as_int(), 10);
