@@ -6,7 +6,10 @@
 // (e.g. the event-loop items_per_second guarding the trace-hook overhead).
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
 #include <deque>
+#include <new>
 #include <unordered_map>
 #include <vector>
 
@@ -16,10 +19,38 @@
 #include "common/rng.hpp"
 #include "net/transit_stub.hpp"
 #include "net/underlay.hpp"
+#include "proto/overlay_network.hpp"
 #include "sim/simulator.hpp"
 #include "stats/flight_recorder.hpp"
 #include "stats/histogram.hpp"
 #include "stats/trace.hpp"
+
+// --- Global operator-new counting hook --------------------------------------
+// Counts every heap allocation in the binary so the steady-state benches can
+// ASSERT the event dispatch path allocates nothing (the InlineFunction +
+// slot-arena contract).  The hook costs one relaxed atomic increment; the
+// other benches measure through it uniformly.
+
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+
+void* counted_alloc(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size > 0 ? size : 1)) return p;
+  throw std::bad_alloc{};
+}
+
+std::uint64_t heap_allocs() {
+  return g_heap_allocs.load(std::memory_order_relaxed);
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -58,6 +89,81 @@ void BM_EventQueueCancelHeavy(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_EventQueueCancelHeavy)->Arg(10000);
+
+void BM_EventQueueSteadyStateZeroAlloc(benchmark::State& state) {
+  // Steady-state dispatch: constant-depth queue, one schedule + one fire per
+  // iteration.  Once the slot arena and heap vector reach their high-water
+  // capacity, this loop must perform ZERO heap allocations -- asserted via
+  // the global operator-new hook, so a regressing closure size or container
+  // swap fails the bench instead of silently re-adding a malloc per event.
+  sim::Simulator sim;
+  std::uint64_t sink = 0;
+  constexpr std::int64_t kDepth = 1024;
+  std::int64_t t = 0;
+  for (; t < kDepth; ++t) {
+    sim.schedule_at(sim::SimTime::micros(t), [&sink] { ++sink; });
+  }
+  // One full drain+refill warms every vector past its final capacity, then
+  // a few schedule+step rounds reach the measured loop's exact high-water
+  // occupancy (depth + 1 while the new event coexists with the popped one).
+  sim.run();
+  for (t = kDepth; t < 2 * kDepth; ++t) {
+    sim.schedule_at(sim::SimTime::micros(t), [&sink] { ++sink; });
+  }
+  for (int i = 0; i < 16; ++i) {
+    sim.schedule_at(sim::SimTime::micros(t++), [&sink] { ++sink; });
+    sim.step();
+  }
+  const std::uint64_t allocs_before = heap_allocs();
+  for (auto _ : state) {
+    sim.schedule_at(sim::SimTime::micros(t++), [&sink] { ++sink; });
+    sim.step();
+  }
+  const std::uint64_t allocs = heap_allocs() - allocs_before;
+  benchmark::DoNotOptimize(sink);
+  state.counters["heap_allocs"] =
+      benchmark::Counter(static_cast<double>(allocs));
+  if (allocs != 0) {
+    state.SkipWithError("steady-state event dispatch heap-allocated");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueSteadyStateZeroAlloc);
+
+void BM_TransportSteadyStateZeroAlloc(benchmark::State& state) {
+  // One overlay message per iteration, delivered before the next: the
+  // per-hop path (send -> schedule -> fire -> deliver) must not allocate
+  // either -- this is the per-message malloc/free pair that dominated the
+  // event loop past ~10k peers before the InlineFunction conversion.
+  Rng rng{8};
+  const auto params = net::TransitStubParams::for_total_nodes(200);
+  const net::Underlay underlay{net::generate_transit_stub(params, rng), rng};
+  sim::Simulator sim;
+  proto::OverlayNetwork net{sim, underlay};
+  const PeerIndex a = net.add_peer(HostIndex{17});
+  const PeerIndex b = net.add_peer(HostIndex{171});
+  std::uint64_t sink = 0;
+  for (int i = 0; i < 64; ++i) {  // warm transport + kernel capacities
+    net.send(a, b, proto::TrafficClass::kQuery, proto::kQueryBytes,
+             [&sink] { ++sink; });
+    sim.run();
+  }
+  const std::uint64_t allocs_before = heap_allocs();
+  for (auto _ : state) {
+    net.send(a, b, proto::TrafficClass::kQuery, proto::kQueryBytes,
+             [&sink] { ++sink; });
+    sim.run();
+  }
+  const std::uint64_t allocs = heap_allocs() - allocs_before;
+  benchmark::DoNotOptimize(sink);
+  state.counters["heap_allocs"] =
+      benchmark::Counter(static_cast<double>(allocs));
+  if (allocs != 0) {
+    state.SkipWithError("per-message transport path heap-allocated");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TransportSteadyStateZeroAlloc);
 
 void BM_EventQueueTraced(benchmark::State& state) {
   // Same workload as BM_EventQueueScheduleRun but with a trace hook set:

@@ -1,0 +1,137 @@
+// Move-only type-erased callable with inline (small-buffer) storage.
+//
+// std::function heap-allocates any closure larger than two pointers, which
+// turns every scheduled event and every in-flight overlay message into a
+// malloc/free pair -- the dominant cost of the event loop past ~10k peers.
+// InlineFunction stores closures up to `Capacity` bytes inside the object
+// itself; only oversized closures fall back to the heap (they keep working,
+// they just pay the old price).  The steady-state dispatch path of the
+// simulator is zero-allocation as long as its closures fit, a property the
+// micro_kernel bench asserts with an operator-new counting hook.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace hp2p {
+
+template <typename Signature, std::size_t Capacity = 64>
+class InlineFunction;  // primary template; only the R(Args...) form exists
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InlineFunction<R(Args...), Capacity> {
+ public:
+  /// True when a callable of type F is stored inline (no heap allocation).
+  template <typename F>
+  static constexpr bool stores_inline =
+      sizeof(F) <= Capacity && alignof(F) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<F>;
+
+  InlineFunction() = default;
+  InlineFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(f));
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(&storage_, &other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(&storage_, &other.storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(&storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+  R operator()(Args... args) {
+    return ops_->invoke(&storage_, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void*, Args&&...);
+    /// Move-constructs *src into dst, then destroys *src.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  template <typename F>
+  void emplace(F&& f) {
+    using Fn = std::decay_t<F>;
+    if constexpr (stores_inline<Fn>) {
+      ::new (&storage_) Fn(std::forward<F>(f));
+      static constexpr Ops ops{
+          [](void* s, Args&&... args) -> R {
+            return std::invoke(*std::launder(reinterpret_cast<Fn*>(s)),
+                               std::forward<Args>(args)...);
+          },
+          [](void* dst, void* src) {
+            Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+            ::new (dst) Fn(std::move(*from));
+            from->~Fn();
+          },
+          [](void* s) { std::launder(reinterpret_cast<Fn*>(s))->~Fn(); }};
+      ops_ = &ops;
+    } else {
+      // Oversized closure: boxed on the heap, pointer stored inline.
+      using Box = Fn*;
+      ::new (&storage_) Box(new Fn(std::forward<F>(f)));
+      static constexpr Ops ops{
+          [](void* s, Args&&... args) -> R {
+            return std::invoke(**std::launder(reinterpret_cast<Box*>(s)),
+                               std::forward<Args>(args)...);
+          },
+          [](void* dst, void* src) {
+            Box* from = std::launder(reinterpret_cast<Box*>(src));
+            ::new (dst) Box(*from);
+            from->~Box();
+          },
+          [](void* s) {
+            Box* box = std::launder(reinterpret_cast<Box*>(s));
+            delete *box;
+            box->~Box();
+          }};
+      ops_ = &ops;
+    }
+  }
+
+  static_assert(Capacity >= sizeof(void*),
+                "capacity must at least hold the heap-fallback pointer");
+
+  alignas(std::max_align_t) std::byte storage_[Capacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace hp2p

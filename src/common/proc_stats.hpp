@@ -1,0 +1,48 @@
+// Process-level memory accounting, read from /proc/self/status.  The scale
+// bench and the 50k-peer guard-rail test use these to assert the O(V)
+// memory budget.  On platforms without procfs both readers return 0, so
+// callers can skip their assertions instead of failing spuriously.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace hp2p {
+
+namespace detail {
+
+/// Returns the numeric value (in KiB, as /proc reports it) of one
+/// "Key:   <n> kB" line of /proc/self/status, or 0 when missing.
+[[nodiscard]] inline std::uint64_t proc_status_kib(const char* key) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::uint64_t kib = 0;
+  const std::size_t key_len = std::strlen(key);
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0) {
+      kib = std::strtoull(line + key_len, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kib;
+}
+
+}  // namespace detail
+
+/// Peak resident set size of this process (VmHWM), in bytes; 0 when
+/// unavailable.  Monotone over the process lifetime -- measure ascending
+/// workloads in increasing order so each step's peak is its own.
+[[nodiscard]] inline std::uint64_t peak_rss_bytes() {
+  return detail::proc_status_kib("VmHWM:") * 1024;
+}
+
+/// Current resident set size (VmRSS), in bytes; 0 when unavailable.
+[[nodiscard]] inline std::uint64_t current_rss_bytes() {
+  return detail::proc_status_kib("VmRSS:") * 1024;
+}
+
+}  // namespace hp2p

@@ -243,7 +243,7 @@ RunResult run_hybrid_experiment(const RunConfig& raw_config) {
         sim::SimTime::micros(static_cast<std::int64_t>(i) *
                              config.op_spacing.as_micros()),
         [&, i] {
-          const auto live = system.live_peers();
+          const auto& live = system.live_peers();
           if (live.empty()) return;
           const PeerIndex origin = live[op_rng.index(live.size())];
           DataId id = corpus[i].id;
@@ -270,11 +270,12 @@ RunResult run_hybrid_experiment(const RunConfig& raw_config) {
   if (heartbeats) {
     system.start_failure_detection();
     if (config.crash_fraction > 0.0) {
-      const auto live = system.live_peers();
-      auto victims = live;
+      // Snapshot by value: crash() invalidates the live_peers() cache the
+      // reference points into.
+      auto victims = system.live_peers();
       op_rng.shuffle(victims);
       const auto n_crash = static_cast<std::size_t>(
-          config.crash_fraction * static_cast<double>(live.size()));
+          config.crash_fraction * static_cast<double>(victims.size()));
       for (std::size_t i = 0; i < n_crash && i < victims.size(); ++i) {
         system.crash(victims[i]);
       }
@@ -298,7 +299,7 @@ RunResult run_hybrid_experiment(const RunConfig& raw_config) {
         sim::SimTime::micros(static_cast<std::int64_t>(i) *
                              config.op_spacing.as_micros()),
         [&] {
-          const auto live = system.live_peers();
+          const auto& live = system.live_peers();
           if (live.empty() || stored_ids.empty()) return;
           const std::size_t pool =
               config.lookup_origin_pool > 0

@@ -71,11 +71,51 @@ PeerIndex HybridSystem::server_random_tpeer() {
 }
 
 void HybridSystem::registry_insert(PeerId pid, PeerIndex t) {
-  registry_[pid.value()] = t;
+  auto it = registry_.find(pid.value());
+  if (it != registry_.end()) {
+    // Pid re-registration (promotion: the heir adopts the dead t-peer's
+    // pid): retire the old holder's index entry first.
+    snetwork_by_size_.erase({snetwork_size_of(it->second), pid.value()});
+    registered_pid_of_.erase(it->second.value());
+    it->second = t;
+  } else {
+    registry_.emplace(pid.value(), t);
+  }
+  registered_pid_of_[t.value()] = pid.value();
+  snetwork_by_size_.insert({snetwork_size_of(t), pid.value()});
 }
 
 void HybridSystem::registry_erase(PeerId pid) {
-  registry_.erase(pid.value());
+  auto it = registry_.find(pid.value());
+  if (it == registry_.end()) return;
+  snetwork_by_size_.erase({snetwork_size_of(it->second), pid.value()});
+  registered_pid_of_.erase(it->second.value());
+  registry_.erase(it);
+}
+
+std::size_t HybridSystem::snetwork_size_of(PeerIndex t) const {
+  const auto it = snetwork_size_.find(t.value());
+  return it == snetwork_size_.end() ? 0 : it->second;
+}
+
+void HybridSystem::set_snetwork_size(PeerIndex t, std::size_t size) {
+  const auto reg = registered_pid_of_.find(t.value());
+  if (reg != registered_pid_of_.end()) {
+    snetwork_by_size_.erase({snetwork_size_of(t), reg->second});
+    snetwork_by_size_.insert({size, reg->second});
+  }
+  snetwork_size_[t.value()] = size;
+}
+
+void HybridSystem::erase_snetwork_size(PeerIndex t) {
+  // A missing entry reads as size 0, so an erase while still registered
+  // must park the index entry at 0 rather than drop it.
+  const auto reg = registered_pid_of_.find(t.value());
+  if (reg != registered_pid_of_.end()) {
+    snetwork_by_size_.erase({snetwork_size_of(t), reg->second});
+    snetwork_by_size_.insert({0, reg->second});
+  }
+  snetwork_size_.erase(t.value());
 }
 
 PeerIndex HybridSystem::registry_owner(std::uint64_t id) const {
@@ -111,7 +151,7 @@ PeerIndex HybridSystem::server_pick_snetwork(PeerIndex joiner) {
     // The server counts assignments at assignment time so that a burst of
     // joins spreads out instead of piling onto one momentarily-small
     // s-network.
-    ++snetwork_size_[t.value()];
+    set_snetwork_size(t, snetwork_size_of(t) + 1);
     return t;
   };
   if (params_.interest_based) {
@@ -158,18 +198,13 @@ PeerIndex HybridSystem::server_pick_snetwork(PeerIndex joiner) {
     std::advance(it, static_cast<std::ptrdiff_t>(slot));
     return record(it->second);
   }
-  // Default (Section 3.2.2): the s-network with the smallest size.
-  PeerIndex best = kNoPeer;
-  std::size_t best_size = ~std::size_t{0};
-  for (const auto& [pid, t] : registry_) {
-    const auto it = snetwork_size_.find(t.value());
-    const std::size_t size = it == snetwork_size_.end() ? 0 : it->second;
-    if (size < best_size) {
-      best_size = size;
-      best = t;
-    }
-  }
-  return record(best);
+  // Default (Section 3.2.2): the s-network with the smallest size.  The
+  // (size, pid) index makes this O(log N_t); its begin() is exactly what
+  // the old pid-order scan chose (minimal size, lowest-pid tie-break).
+  assert(!snetwork_by_size_.empty());
+  const auto owner = registry_.find(snetwork_by_size_.begin()->second);
+  assert(owner != registry_.end());
+  return record(owner->second);
 }
 
 // --- Peer admission -----------------------------------------------------------
@@ -248,11 +283,12 @@ void HybridSystem::start_tpeer_join(PeerIndex joiner, sim::SimTime started,
     n.predecessor = joiner;
     n.predecessor_id = n.pid;
     registry_insert(n.pid, joiner);
-    snetwork_size_[joiner.value()] = 0;
+    set_snetwork_size(joiner, 0);
     // Server informs the peer it is the seed (one reply message).
     net_.send(server_, joiner, TrafficClass::kControl, proto::kControlBytes,
               [this, joiner, started, done = std::move(done)] {
                 peer(joiner).joined = true;
+                membership_changed();
                 if (failure_detection_) heartbeat_tick(joiner);
                 if (done) done(proto::JoinResult{sim_.now() - started, 1});
               });
@@ -381,8 +417,9 @@ void HybridSystem::run_join_triangle(PeerIndex pre, PendingJoin req) {
         pp.successor = joiner;
         pp.successor_id = nn2.pid;
         nn2.joined = true;
+        membership_changed();
         registry_insert(nn2.pid, joiner);
-        snetwork_size_[joiner.value()] = 0;
+        set_snetwork_size(joiner, 0);
         if (failure_detection_) heartbeat_tick(joiner);
         // The joiner carved a segment out of its successor's: rebuild the
         // replica sets on both sides of the new boundary.
@@ -528,6 +565,7 @@ void HybridSystem::descend_sjoin(PeerIndex at, PeerIndex joiner,
               n.tpeer = root;
               n.pid = peer(root).pid;  // s-peers share the t-peer's p_id
               n.joined = true;
+              membership_changed();
               // A rejoining orphan may have been assigned a different
               // s-network than the one whose segment its items belong to;
               // send those back to their responsible t-peer.
@@ -589,14 +627,14 @@ void HybridSystem::leave(PeerIndex leaving) {
 void HybridSystem::speer_leave(PeerIndex leaving) {
   Peer& p = peer(leaving);
   p.joined = false;
+  membership_changed();
   // The leaver stays alive (but marked) until an heir acks the handoff;
   // the mark keeps the heartbeat orphan-retry from resurrecting it and
   // tells other leavers not to pick it as their heir.
   p.leaving_mutex = true;
   const PeerIndex root = p.tpeer;
-  if (snetwork_size_.count(root.value()) != 0 &&
-      snetwork_size_[root.value()] > 0) {
-    --snetwork_size_[root.value()];
+  if (const std::size_t sz = snetwork_size_of(root); sz > 0) {
+    set_snetwork_size(root, sz - 1);
   }
 
   // Transfer load to a neighbour (Section 3.2.2): prefer the connect point,
@@ -717,6 +755,7 @@ void HybridSystem::rejoin_subtree(PeerIndex child) {
   net_.send(child, root, TrafficClass::kControl, proto::kControlBytes,
             [this, root, child] {
               peer(child).joined = false;  // re-enters via descend
+              membership_changed();
               descend_sjoin(root, child, 1, sim_.now(), {});
             });
 }
@@ -856,12 +895,9 @@ void HybridSystem::promote_speer(PeerIndex heir, PeerIndex old_t,
   }
 
   registry_insert(h.pid, heir);
-  snetwork_size_[heir.value()] =
-      snetwork_size_.count(old_t.value()) != 0 &&
-              snetwork_size_[old_t.value()] > 0
-          ? snetwork_size_[old_t.value()] - 1
-          : 0;
-  snetwork_size_.erase(old_t.value());
+  const std::size_t old_size = snetwork_size_of(old_t);
+  set_snetwork_size(heir, old_size > 0 ? old_size - 1 : 0);
+  erase_snetwork_size(old_t);
   broadcast_substitution(old_t, heir);
 
   // Everyone below the heir learns the new root (tpeer pointer refresh).
@@ -885,6 +921,7 @@ void HybridSystem::promote_speer(PeerIndex heir, PeerIndex old_t,
   if (with_data) {
     Peer& old_ref = peer(old_t);
     old_ref.joined = false;
+    membership_changed();
     old_ref.leaving_mutex = false;
     net_.set_alive(old_t, false);
   }
@@ -901,11 +938,12 @@ void HybridSystem::ring_leave(PeerIndex leaving) {
   const PeerIndex pre = p.predecessor;
   const PeerIndex suc = p.successor;
   registry_erase(p.pid);
-  snetwork_size_.erase(leaving.value());
+  erase_snetwork_size(leaving);
 
   if (suc == leaving || registry_.empty()) {
     // Last t-peer: the system empties.
     p.joined = false;
+    membership_changed();
     net_.set_alive(leaving, false);
     return;
   }
@@ -926,6 +964,7 @@ void HybridSystem::ring_leave_wait_pre(PeerIndex leaving) {
   if (me.successor == leaving || registry_.empty()) {
     // Everyone else left while we waited: the ring collapses to us alone.
     me.joined = false;
+    membership_changed();
     me.leaving_mutex = false;
     net_.set_alive(leaving, false);
     return;
@@ -976,6 +1015,7 @@ void HybridSystem::ring_leave_step2(PeerIndex pre, PeerIndex suc,
                               });
                   }
                   lp.joined = false;
+                  membership_changed();
                   lp.leaving_mutex = false;
                   net_.set_alive(leaving, false);
                 });
@@ -1013,6 +1053,7 @@ void HybridSystem::crash(PeerIndex crashing) {
   Peer& p = peer(crashing);
   if (p.is_server) return;
   p.joined = false;
+  membership_changed();
   net_.set_alive(crashing, false);
   // Nothing else happens here: the data is gone, neighbors find out via
   // HELLO timeouts (when failure detection runs), and the server replaces
@@ -1058,6 +1099,7 @@ void HybridSystem::server_handle_compete(PeerIndex orphan,
                 o.cp = kNoPeer;
                 o.tpeer = heir;
                 o.joined = false;
+                membership_changed();
                 descend_sjoin(heir, orphan, 1, sim_.now(), {});
               });
   }
@@ -1204,6 +1246,7 @@ void HybridSystem::heartbeat_step(PeerIndex p_idx) {
       sim::expired(p.last_rejoin_attempt + params_.hello_timeout, now)) {
     p.last_rejoin_attempt = now;
     p.joined = true;  // a wedged half-rejoin left it unjoined; it is a member
+    membership_changed();
     if (p.tpeer != kNoPeer) {
       rejoin_subtree(p_idx);
     } else {
@@ -1479,12 +1522,22 @@ std::vector<std::size_t> HybridSystem::items_per_peer() const {
   return out;
 }
 
-std::vector<PeerIndex> HybridSystem::live_peers() const {
-  std::vector<PeerIndex> out;
-  for (const Peer& p : peers_) {
-    if (!p.is_server && p.joined && net_.alive(p.self)) out.push_back(p.self);
+const std::vector<PeerIndex>& HybridSystem::live_peers() const {
+  // The workload generators call this once per operation; rebuilding the
+  // O(N) snapshot each time dominated whole runs past ~20k peers (80% of
+  // CPU at 100k).  `joined` flips mark the cache dirty at each mutation
+  // site; crash/leave liveness flips are caught via the transport epoch.
+  if (live_peers_dirty_ || live_peers_net_epoch_ != net_.liveness_epoch()) {
+    live_peers_cache_.clear();
+    for (const Peer& p : peers_) {
+      if (!p.is_server && p.joined && net_.alive(p.self)) {
+        live_peers_cache_.push_back(p.self);
+      }
+    }
+    live_peers_dirty_ = false;
+    live_peers_net_epoch_ = net_.liveness_epoch();
   }
-  return out;
+  return live_peers_cache_;
 }
 
 std::size_t HybridSystem::num_bypass_links() const {

@@ -19,7 +19,9 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
+#include <utility>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -194,8 +196,12 @@ class HybridSystem {
   /// Items-per-peer across live joined peers (Fig. 4 raw data).
   [[nodiscard]] std::vector<std::size_t> items_per_peer() const;
 
-  /// Live joined peers (for workload generators to draw from).
-  [[nodiscard]] std::vector<PeerIndex> live_peers() const;
+  /// Live joined peers (for workload generators to draw from), in peer-index
+  /// order.  Served from a cache invalidated on membership/liveness changes:
+  /// workload generators call this per operation, and the O(N) rebuild per
+  /// op dominated whole runs past ~20k peers.  The reference is valid until
+  /// the next membership change.
+  [[nodiscard]] const std::vector<PeerIndex>& live_peers() const;
 
   /// Number of bypass links currently installed system-wide.
   [[nodiscard]] std::size_t num_bypass_links() const;
@@ -377,10 +383,18 @@ class HybridSystem {
   /// the reporter who holds the slot now, so a raced/suppressed adoption
   /// message cannot leave its ring pointers dangling forever.
   void server_refresh_ring_pointers(PeerIndex reporter, PeerIndex dead);
-  /// Registry maintenance.
+  /// Registry maintenance.  insert/erase also keep snetwork_by_size_ in
+  /// step, so every s-network size change must flow through
+  /// set_snetwork_size()/erase_snetwork_size() rather than writing
+  /// snetwork_size_ directly.
   void registry_insert(PeerId pid, PeerIndex t);
   void registry_erase(PeerId pid);
   [[nodiscard]] PeerIndex registry_owner(std::uint64_t id) const;
+  /// Server's view of t's s-network size (missing entry reads as 0, the
+  /// same convention the smallest-first scan always used).
+  [[nodiscard]] std::size_t snetwork_size_of(PeerIndex t) const;
+  void set_snetwork_size(PeerIndex t, std::size_t size);
+  void erase_snetwork_size(PeerIndex t);
 
   // --- Join protocols ----------------------------------------------------------
 
@@ -562,8 +576,19 @@ class HybridSystem {
   HybridParams params_;
   Rng& rng_;
 
+  /// Drops the live_peers() cache.  MUST be called after any change to a
+  /// peer's `joined` flag -- every such mutation site in
+  /// hybrid_membership.cpp pairs with a call to this.  Transport liveness
+  /// changes are tracked separately via OverlayNetwork::liveness_epoch().
+  void membership_changed() const { live_peers_dirty_ = true; }
+
   PeerIndex server_ = kNoPeer;  // the well-known server's transport endpoint
   std::vector<Peer> peers_;
+  /// live_peers() cache; rebuilt lazily after membership_changed() or a
+  /// transport liveness-epoch bump.
+  mutable std::vector<PeerIndex> live_peers_cache_;
+  mutable bool live_peers_dirty_ = true;
+  mutable std::uint64_t live_peers_net_epoch_ = 0;
   /// Server-side ring registry: pid -> t-peer (ordered for owner queries).
   std::map<std::uint64_t, PeerIndex> registry_;
   /// Server-side round-robin cursors: interest/cluster -> t-peer list slot.
@@ -571,6 +596,15 @@ class HybridSystem {
   /// Server's (approximate) view of each s-network's size, for
   /// smallest-first assignment.
   std::unordered_map<std::uint32_t, std::size_t> snetwork_size_;
+  /// Ascending (size, pid) over *registered* t-peers: begin() is the
+  /// smallest-first assignment target in O(log N_t), where the old per-join
+  /// registry scan was O(N_t) -- the dominant server cost past ~20k peers.
+  /// Ties break toward the lowest pid, exactly like the scan it replaces.
+  std::set<std::pair<std::size_t, std::uint64_t>> snetwork_by_size_;
+  /// Reverse of registry_ (t-peer -> registered pid), so a size change can
+  /// reposition the t-peer's snetwork_by_size_ entry without a search.
+  /// Lookup-only; never iterated.
+  std::unordered_map<std::uint32_t, std::uint64_t> registered_pid_of_;
   /// Sticky interest -> s-network anchor (Section 5.3).
   std::unordered_map<std::uint32_t, PeerIndex> interest_snetwork_;
   std::vector<HostIndex> landmarks_;

@@ -41,6 +41,16 @@ TransitStubParams TransitStubParams::for_total_nodes(std::uint32_t n) {
     return p;
   }
   p.stub_nodes_per_domain = (n - transit + stub_domains - 1) / stub_domains;
+  if (p.stub_nodes_per_domain <= kMaxStubNodesPerDomain) return p;
+  // Past ~3k nodes, widen the transit skeleton instead of the stub domains:
+  // each transit domain then carries a fixed complement of
+  //   transit_nodes * (1 + stub_domains_per_node * max_stub_nodes)
+  // hosts, so the core stays a ~0.5% sliver of the graph at any scale.
+  p.stub_nodes_per_domain = kMaxStubNodesPerDomain;
+  const std::uint32_t per_transit_domain =
+      p.transit_nodes_per_domain *
+      (1 + p.stub_domains_per_transit_node * p.stub_nodes_per_domain);
+  p.transit_domains = (n + per_transit_domain - 1) / per_transit_domain;
   return p;
 }
 

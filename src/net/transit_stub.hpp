@@ -48,8 +48,16 @@ struct TransitStubParams {
                          stub_nodes_per_domain;
   }
 
-  /// Adjusts stub_nodes_per_domain so total_nodes() is >= `n` and as close
-  /// as possible; keeps the transit skeleton fixed.
+  /// Stub domains never grow past this when scaling with for_total_nodes:
+  /// bigger targets add transit domains instead, which keeps intra-domain
+  /// queries bounded and the transit core a tiny fraction of the graph.
+  static constexpr std::uint32_t kMaxStubNodesPerDomain = 64;
+
+  /// Adjusts the parameters so total_nodes() is >= `n` and as close as
+  /// possible.  Up to ~3k nodes only stub_nodes_per_domain moves (the
+  /// historical behaviour, byte-identical for every paper-scale run);
+  /// beyond that the stub size pins at kMaxStubNodesPerDomain and
+  /// transit_domains grows.
   [[nodiscard]] static TransitStubParams for_total_nodes(std::uint32_t n);
 };
 

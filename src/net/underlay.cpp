@@ -1,40 +1,61 @@
 #include "net/underlay.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <limits>
 #include <queue>
+#include <utility>
 
 namespace hp2p::net {
+namespace {
 
-std::uint64_t LinkStress::max_stress() const {
-  std::uint64_t best = 0;
-  for (auto c : counts_) best = std::max(best, c);
-  return best;
+constexpr std::uint64_t kInf64 = std::numeric_limits<std::uint64_t>::max();
+constexpr std::uint32_t kNoNode = std::numeric_limits<std::uint32_t>::max();
+
+/// Monotone instance ids for the thread-local intra-tree cache.
+std::atomic<std::uint64_t> g_next_underlay_id{1};
+
+std::uint32_t narrow_latency(std::uint64_t us) {
+  // Path latencies are bounded by diameter * max link latency (~seconds in
+  // microseconds); anything near 2^32 us (~71 min) is a topology bug.
+  assert(us < std::numeric_limits<std::uint32_t>::max());
+  return static_cast<std::uint32_t>(us);
+}
+
+}  // namespace
+
+LinkStress::LinkStress(std::size_t num_edges, Mode mode)
+    : num_edges_(num_edges),
+      sparse_(mode == Mode::kSparse ||
+              (mode == Mode::kAuto && num_edges > kSparseThreshold)) {
+  if (!sparse_) counts_.assign(num_edges, 0);
 }
 
 double LinkStress::mean_stress() const {
-  if (counts_.empty()) return 0.0;
-  return static_cast<double>(total_copies()) /
-         static_cast<double>(counts_.size());
+  if (num_edges_ == 0) return 0.0;
+  return static_cast<double>(total_) / static_cast<double>(num_edges_);
 }
 
-std::uint64_t LinkStress::total_copies() const {
-  std::uint64_t sum = 0;
-  for (auto c : counts_) sum += c;
-  return sum;
-}
-
-Underlay::Underlay(Topology topology, Rng& capacity_rng)
-    : topology_(std::move(topology)) {
+Underlay::Underlay(Topology topology, Rng& capacity_rng, RoutingMode mode)
+    : topology_(std::move(topology)),
+      instance_id_(g_next_underlay_id.fetch_add(1)) {
   const std::size_t v = topology_.graph.num_nodes();
-  latency_us_.assign(v * v, std::numeric_limits<std::uint32_t>::max());
-  first_hop_.assign(v * v, std::numeric_limits<std::uint32_t>::max());
-  first_edge_.assign(v * v, kNoEdge);
-  for (std::uint32_t s = 0; s < v; ++s) dijkstra_from(s);
+  RoutingMode want = mode;
+  if (want == RoutingMode::kAuto) {
+    want = v <= kDenseRoutingThreshold ? RoutingMode::kDense
+                                       : RoutingMode::kHierarchical;
+  }
+  if (want == RoutingMode::kHierarchical && build_hierarchical()) {
+    mode_ = RoutingMode::kHierarchical;
+  } else {
+    build_dense();
+    mode_ = RoutingMode::kDense;
+  }
 
   // Deal capacity classes exactly 1/3 : 1/3 : 1/3 (paper Section 6),
-  // shuffled so classes are uncorrelated with topology position.
+  // shuffled so classes are uncorrelated with topology position.  The draw
+  // sequence is mode-independent (routing construction consumes no RNG).
   capacity_.resize(v);
   std::vector<std::uint32_t> order(v);
   for (std::uint32_t i = 0; i < v; ++i) order[i] = i;
@@ -45,14 +66,36 @@ Underlay::Underlay(Topology topology, Rng& capacity_rng)
   }
 }
 
-void Underlay::dijkstra_from(std::uint32_t source) {
+std::size_t Underlay::routing_memory_bytes() const {
+  auto bytes = [](const auto& vec) {
+    return vec.capacity() * sizeof(vec[0]);
+  };
+  return bytes(dense_latency_us_) + bytes(dense_first_hop_) +
+         bytes(dense_first_edge_) + bytes(stub_domains_) + bytes(gw_dist_us_) +
+         bytes(gw_parent_) + bytes(gw_parent_edge_) + bytes(gw_hops_) +
+         bytes(core_latency_us_) + bytes(core_next_) + bytes(core_next_edge_);
+}
+
+// --------------------------------------------------------------------------
+// Dense backend: the original all-pairs implementation.
+// --------------------------------------------------------------------------
+
+void Underlay::build_dense() {
+  const std::size_t v = topology_.graph.num_nodes();
+  dense_latency_us_.assign(v * v, std::numeric_limits<std::uint32_t>::max());
+  dense_first_hop_.assign(v * v, kNoNode);
+  dense_first_edge_.assign(v * v, kNoEdge);
+  for (std::uint32_t s = 0; s < v; ++s) dense_dijkstra_from(s);
+}
+
+void Underlay::dense_dijkstra_from(std::uint32_t source) {
   const std::size_t v = topology_.graph.num_nodes();
   using QItem = std::pair<std::uint64_t, std::uint32_t>;  // (dist, node)
   std::priority_queue<QItem, std::vector<QItem>, std::greater<>> queue;
-  std::vector<std::uint64_t> dist(v, std::numeric_limits<std::uint64_t>::max());
+  std::vector<std::uint64_t> dist(v, kInf64);
   // For path recovery we track, per settled node, the *first* hop taken out
   // of the source, plus per-node parent edge for for_each_path_edge.
-  std::vector<std::uint32_t> parent(v, std::numeric_limits<std::uint32_t>::max());
+  std::vector<std::uint32_t> parent(v, kNoNode);
   std::vector<EdgeIndex> parent_edge(v, kNoEdge);
 
   dist[source] = 0;
@@ -73,23 +116,245 @@ void Underlay::dijkstra_from(std::uint32_t source) {
   }
 
   for (std::uint32_t t = 0; t < v; ++t) {
-    assert(dist[t] != std::numeric_limits<std::uint64_t>::max());
-    latency_us_[index(source, t)] = static_cast<std::uint32_t>(dist[t]);
+    assert(dist[t] != kInf64);
+    dense_latency_us_[dense_index(source, t)] = narrow_latency(dist[t]);
     if (t == source) continue;
     // Walk back from t to find the hop adjacent to the source.
     std::uint32_t walk = t;
     while (parent[walk] != source) walk = parent[walk];
-    first_hop_[index(source, t)] = walk;
-    first_edge_[index(source, t)] = parent_edge[walk];
+    dense_first_hop_[dense_index(source, t)] = walk;
+    dense_first_edge_[dense_index(source, t)] = parent_edge[walk];
   }
 }
 
+// --------------------------------------------------------------------------
+// Hierarchical backend.
+// --------------------------------------------------------------------------
+
+bool Underlay::build_hierarchical() {
+  const auto fail = [this] {
+    stub_domains_.clear();
+    gw_dist_us_.clear();
+    gw_parent_.clear();
+    gw_parent_edge_.clear();
+    gw_hops_.clear();
+    core_latency_us_.clear();
+    core_next_.clear();
+    core_next_edge_.clear();
+    return false;
+  };
+
+  const std::uint32_t v =
+      static_cast<std::uint32_t>(topology_.graph.num_nodes());
+  const std::uint32_t t = topology_.num_transit_nodes;
+  if (t == 0 || t > v) return fail();
+  if (topology_.role.size() != v || topology_.domain.size() != v) {
+    return fail();
+  }
+  for (std::uint32_t n = 0; n < v; ++n) {
+    const bool transit_role = topology_.role[n] == NodeRole::kTransit;
+    if (transit_role != (n < t)) return fail();  // transit block must lead
+  }
+
+  // Collect stub domains (member ranges must be contiguous) and their
+  // gateway edges (each domain must touch the transit core exactly once).
+  std::uint32_t max_domain = 0;
+  for (std::uint32_t n = t; n < v; ++n) {
+    max_domain = std::max(max_domain, topology_.domain[n]);
+  }
+  stub_domains_.assign(static_cast<std::size_t>(max_domain) + 1, StubDomain{});
+  std::vector<std::uint32_t> lo(stub_domains_.size(), kNoNode);
+  std::vector<std::uint32_t> hi(stub_domains_.size(), 0);
+  std::vector<std::uint32_t> count(stub_domains_.size(), 0);
+  for (std::uint32_t n = t; n < v; ++n) {
+    const std::uint32_t d = topology_.domain[n];
+    lo[d] = std::min(lo[d], n);
+    hi[d] = std::max(hi[d], n);
+    ++count[d];
+  }
+  for (std::uint32_t n = t; n < v; ++n) {
+    const std::uint32_t d = topology_.domain[n];
+    StubDomain& dom = stub_domains_[d];
+    for (const HalfEdge& h : topology_.graph.neighbors(n)) {
+      if (h.to < t) {
+        // Up-link into the core: must be the domain's single gateway edge.
+        if (dom.gateway_edge != kNoEdge && dom.gateway_edge != h.edge) {
+          return fail();
+        }
+        dom.gateway = n;
+        dom.anchor = h.to;
+        dom.gateway_edge = h.edge;
+        dom.gateway_latency_us = h.latency_us;
+      } else if (topology_.domain[h.to] != d) {
+        return fail();  // stub-to-foreign-stub edge breaks the decomposition
+      }
+    }
+  }
+  for (std::size_t d = 0; d < stub_domains_.size(); ++d) {
+    if (count[d] == 0) continue;  // id unused by any stub node
+    if (hi[d] - lo[d] + 1 != count[d]) return fail();  // not contiguous
+    if (stub_domains_[d].gateway_edge == kNoEdge) return fail();
+    stub_domains_[d].first_node = lo[d];
+    stub_domains_[d].num_nodes = count[d];
+  }
+
+  // Per-domain gateway shortest-path trees (O(V) state total).
+  gw_dist_us_.assign(v, 0);
+  gw_parent_.assign(v, kNoNode);
+  gw_parent_edge_.assign(v, kNoEdge);
+  gw_hops_.assign(v, 0);
+  for (const StubDomain& dom : stub_domains_) {
+    if (dom.num_nodes == 0) continue;
+    const IntraTree& tree = intra_tree(dom.gateway);
+    for (std::uint32_t i = 0; i < dom.num_nodes; ++i) {
+      if (tree.dist_us[i] == kInf64) return fail();  // disconnected domain
+      const std::uint32_t n = dom.first_node + i;
+      gw_dist_us_[n] = narrow_latency(tree.dist_us[i]);
+      gw_parent_[n] = tree.parent[i];
+      gw_parent_edge_[n] = tree.parent_edge[i];
+      gw_hops_[n] = tree.hops[i];
+    }
+  }
+
+  // All-pairs over the transit core (T*T, T tiny even at 100k+ hosts).
+  // Core paths never cross a stub domain -- doing so would use that
+  // domain's single gateway edge twice -- so restricting Dijkstra to
+  // transit nodes is exact.
+  core_latency_us_.assign(static_cast<std::size_t>(t) * t, 0);
+  core_next_.assign(static_cast<std::size_t>(t) * t, kNoNode);
+  core_next_edge_.assign(static_cast<std::size_t>(t) * t, kNoEdge);
+  std::vector<std::uint64_t> dist(t);
+  std::vector<std::uint32_t> parent(t);
+  std::vector<EdgeIndex> parent_edge(t);
+  using QItem = std::pair<std::uint64_t, std::uint32_t>;
+  for (std::uint32_t s = 0; s < t; ++s) {
+    std::fill(dist.begin(), dist.end(), kInf64);
+    std::fill(parent.begin(), parent.end(), kNoNode);
+    std::fill(parent_edge.begin(), parent_edge.end(), kNoEdge);
+    std::priority_queue<QItem, std::vector<QItem>, std::greater<>> queue;
+    dist[s] = 0;
+    queue.emplace(0, s);
+    while (!queue.empty()) {
+      const auto [d, u] = queue.top();
+      queue.pop();
+      if (d != dist[u]) continue;
+      for (const HalfEdge& h : topology_.graph.neighbors(u)) {
+        if (h.to >= t) continue;  // stay inside the core
+        const std::uint64_t nd = d + h.latency_us;
+        if (nd < dist[h.to]) {
+          dist[h.to] = nd;
+          parent[h.to] = u;
+          parent_edge[h.to] = h.edge;
+          queue.emplace(nd, h.to);
+        }
+      }
+    }
+    for (std::uint32_t e = 0; e < t; ++e) {
+      if (dist[e] == kInf64) return fail();  // core must be connected
+      core_latency_us_[core_index(s, e)] = narrow_latency(dist[e]);
+      if (e == s) continue;
+      std::uint32_t walk = e;
+      while (parent[walk] != s) walk = parent[walk];
+      core_next_[core_index(s, e)] = walk;
+      core_next_edge_[core_index(s, e)] = parent_edge[walk];
+    }
+  }
+  return true;
+}
+
+const Underlay::IntraTree& Underlay::intra_tree(std::uint32_t root) const {
+  thread_local IntraTree tree;
+  thread_local std::vector<char> settled;
+  if (tree.owner_id == instance_id_ && tree.root == root) return tree;
+
+  const StubDomain& dom = stub_of(root);
+  const std::uint32_t n = dom.num_nodes;
+  tree.owner_id = instance_id_;
+  tree.root = root;
+  tree.dist_us.assign(n, kInf64);
+  tree.parent.assign(n, kNoNode);
+  tree.parent_edge.assign(n, kNoEdge);
+  tree.hops.assign(n, 0);
+  settled.assign(n, 0);
+
+  // O(n^2) Dijkstra: domains are small (tens of nodes), and the flat scan
+  // beats a heap at that size.  Ties settle the lowest node id first, so
+  // the tree -- hence path_hops / for_each_path_edge -- is deterministic.
+  tree.dist_us[root - dom.first_node] = 0;
+  for (std::uint32_t round = 0; round < n; ++round) {
+    std::uint32_t best = kNoNode;
+    std::uint64_t best_dist = kInf64;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (settled[i] == 0 && tree.dist_us[i] < best_dist) {
+        best_dist = tree.dist_us[i];
+        best = i;
+      }
+    }
+    if (best == kNoNode) break;  // remainder unreachable (caught by caller)
+    settled[best] = 1;
+    const std::uint32_t u = dom.first_node + best;
+    for (const HalfEdge& h : topology_.graph.neighbors(u)) {
+      if (h.to < dom.first_node || h.to >= dom.first_node + n) {
+        continue;  // the gateway up-link; intra paths never leave the domain
+      }
+      const std::uint32_t li = h.to - dom.first_node;
+      const std::uint64_t nd = best_dist + h.latency_us;
+      if (nd < tree.dist_us[li]) {
+        tree.dist_us[li] = nd;
+        tree.parent[li] = u;  // next node toward the root
+        tree.parent_edge[li] = h.edge;
+        tree.hops[li] = tree.hops[best] + 1;
+      }
+    }
+  }
+  return tree;
+}
+
+// --------------------------------------------------------------------------
+// Queries (mode dispatch).
+// --------------------------------------------------------------------------
+
+std::uint64_t Underlay::latency_us(std::uint32_t from, std::uint32_t to) const {
+  if (mode_ == RoutingMode::kDense) {
+    return dense_latency_us_[dense_index(from, to)];
+  }
+  if (from == to) return 0;
+  if (!is_transit(from) && !is_transit(to) &&
+      topology_.domain[from] == topology_.domain[to]) {
+    // Same stub domain: bounded on-demand Dijkstra, rooted at the
+    // destination so latency/hops/edge-walk all read one tree.
+    const IntraTree& tree = intra_tree(to);
+    return tree.dist_us[from - stub_of(to).first_node];
+  }
+  return uplink_us(from) +
+         core_latency_us_[core_index(anchor_of(from), anchor_of(to))] +
+         uplink_us(to);
+}
+
 std::uint32_t Underlay::path_hops(HostIndex from, HostIndex to) const {
-  std::uint32_t hops = 0;
   std::uint32_t u = from.value();
   const std::uint32_t t = to.value();
-  while (u != t) {
-    u = first_hop_[index(u, t)];
+  if (mode_ == RoutingMode::kDense) {
+    std::uint32_t hops = 0;
+    while (u != t) {
+      u = dense_first_hop_[dense_index(u, t)];
+      ++hops;
+    }
+    return hops;
+  }
+  if (u == t) return 0;
+  if (!is_transit(u) && !is_transit(t) &&
+      topology_.domain[u] == topology_.domain[t]) {
+    const IntraTree& tree = intra_tree(t);
+    return tree.hops[u - stub_of(t).first_node];
+  }
+  std::uint32_t hops = 0;
+  if (!is_transit(u)) hops += gw_hops_[u] + 1;  // walk to gateway + up-link
+  if (!is_transit(t)) hops += gw_hops_[t] + 1;
+  std::uint32_t a = anchor_of(u);
+  const std::uint32_t b = anchor_of(t);
+  while (a != b) {
+    a = core_next_[core_index(a, b)];
     ++hops;
   }
   return hops;
@@ -100,9 +365,51 @@ void Underlay::for_each_path_edge(
     const std::function<void(EdgeIndex)>& fn) const {
   std::uint32_t u = from.value();
   const std::uint32_t t = to.value();
-  while (u != t) {
-    fn(first_edge_[index(u, t)]);
-    u = first_hop_[index(u, t)];
+  if (mode_ == RoutingMode::kDense) {
+    while (u != t) {
+      fn(dense_first_edge_[dense_index(u, t)]);
+      u = dense_first_hop_[dense_index(u, t)];
+    }
+    return;
+  }
+  if (u == t) return;
+  if (!is_transit(u) && !is_transit(t) &&
+      topology_.domain[u] == topology_.domain[t]) {
+    const IntraTree& tree = intra_tree(t);
+    const std::uint32_t first = stub_of(t).first_node;
+    while (u != t) {
+      fn(tree.parent_edge[u - first]);
+      u = tree.parent[u - first];
+    }
+    return;
+  }
+  // Source stub segment: walk up the gateway tree (already in path order).
+  if (!is_transit(u)) {
+    const StubDomain& dom = stub_of(u);
+    while (u != dom.gateway) {
+      fn(gw_parent_edge_[u]);
+      u = gw_parent_[u];
+    }
+    fn(dom.gateway_edge);
+  }
+  // Transit core segment.
+  std::uint32_t a = anchor_of(from.value());
+  const std::uint32_t b = anchor_of(t);
+  while (a != b) {
+    fn(core_next_edge_[core_index(a, b)]);
+    a = core_next_[core_index(a, b)];
+  }
+  // Destination stub segment: the gateway tree points toward the gateway,
+  // so collect the walk and emit it reversed to keep from->to edge order.
+  if (!is_transit(t)) {
+    const StubDomain& dom = stub_of(t);
+    fn(dom.gateway_edge);
+    thread_local std::vector<EdgeIndex> down;
+    down.clear();
+    for (std::uint32_t w = t; w != dom.gateway; w = gw_parent_[w]) {
+      down.push_back(gw_parent_edge_[w]);
+    }
+    for (auto it = down.rbegin(); it != down.rend(); ++it) fn(*it);
   }
 }
 

@@ -5,10 +5,34 @@
 // traversal of the underlay; its cost is the Dijkstra shortest-path delay,
 // and link-stress accounting walks the physical edges of that path (the
 // paper's Section 5.2 metric).
+//
+// Two routing backends share one query interface:
+//
+//   kDense         All-pairs tables (the original implementation): O(V^2)
+//                  memory, O(1) queries.  Fine to ~4k hosts, impossible at
+//                  100k (a 100k-host table is 120 GB).
+//   kHierarchical  Exploits the transit-stub structure: each stub domain
+//                  hangs off the transit core by exactly ONE gateway edge,
+//                  so every cross-domain shortest path decomposes exactly as
+//                      intra(u, gw_A) + gate_A + core(t_A, t_B)
+//                                    + gate_B + intra(gw_B, v).
+//                  State is O(V) per-node gateway trees plus an all-pairs
+//                  table over the (tiny) transit core; same-domain queries
+//                  run a bounded intra-domain Dijkstra on demand.  The
+//                  decomposition is exact -- a path leaving a stub domain
+//                  must cross its single gateway edge, and re-entering any
+//                  domain would reuse such an edge -- so latencies equal the
+//                  dense answers bit-for-bit (asserted by net_test).
+//
+// kAuto picks kDense below kDenseRoutingThreshold hosts (preserving the
+// historical byte-identical behaviour of every paper-scale experiment) and
+// kHierarchical above it.  A topology without the expected structure falls
+// back to dense routing; routing_mode() reports what was chosen.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -37,44 +61,96 @@ enum class CapacityClass : std::uint8_t { kLow, kMedium, kHigh };
 }
 
 /// Per-physical-edge message-copy counters (link stress, Section 5.2).
+///
+/// Dense mode keeps one counter per edge; sparse mode keeps counters only
+/// for edges actually touched (hash map), which is what a sampled run at
+/// 100k+ hosts wants.  Both modes report identical max_stress() /
+/// mean_stress() / total_copies() values: the mean still divides by the
+/// full edge count, and max/total are maintained incrementally on bump()
+/// (counters only grow, so the running max never goes stale).
 class LinkStress {
  public:
-  explicit LinkStress(std::size_t num_edges) : counts_(num_edges, 0) {}
+  enum class Mode : std::uint8_t { kAuto, kDense, kSparse };
 
-  void bump(EdgeIndex e) { ++counts_[e]; }
-  [[nodiscard]] std::uint64_t count(EdgeIndex e) const { return counts_[e]; }
-  [[nodiscard]] std::uint64_t max_stress() const;
+  /// Edge-count threshold above which kAuto picks sparse storage.
+  static constexpr std::size_t kSparseThreshold = std::size_t{1} << 20;
+
+  explicit LinkStress(std::size_t num_edges, Mode mode = Mode::kAuto);
+
+  void bump(EdgeIndex e) {
+    std::uint64_t c;
+    if (sparse_) {
+      c = ++sparse_counts_[e];
+    } else {
+      c = ++counts_[e];
+    }
+    ++total_;
+    if (c > max_) max_ = c;
+  }
+
+  [[nodiscard]] std::uint64_t count(EdgeIndex e) const {
+    if (!sparse_) return counts_[e];
+    const auto it = sparse_counts_.find(e);
+    return it == sparse_counts_.end() ? 0 : it->second;
+  }
+  [[nodiscard]] std::uint64_t max_stress() const { return max_; }
   [[nodiscard]] double mean_stress() const;
-  [[nodiscard]] std::uint64_t total_copies() const;
+  [[nodiscard]] std::uint64_t total_copies() const { return total_; }
+  [[nodiscard]] bool sparse() const { return sparse_; }
 
  private:
-  std::vector<std::uint64_t> counts_;
+  std::size_t num_edges_;
+  bool sparse_;
+  std::vector<std::uint64_t> counts_;  // dense storage
+  // Lookup/insert only -- never iterated, so hash order cannot leak into
+  // any result.  lint:allow(unordered-iter)
+  std::unordered_map<std::uint32_t, std::uint64_t> sparse_counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t max_ = 0;
 };
 
-/// The routed underlay: topology + all-pairs shortest paths + host
-/// capacities.  Immutable after construction, so replicas running on
-/// different threads can share one instance by const reference.
+/// Which shortest-path backend an Underlay uses.
+enum class RoutingMode : std::uint8_t { kAuto, kDense, kHierarchical };
+
+/// The routed underlay: topology + shortest-path state + host capacities.
+/// Immutable after construction, so replicas running on different threads
+/// can share one instance by const reference (hierarchical on-demand
+/// queries use thread-local scratch only).
 class Underlay {
  public:
-  /// Builds routing state; O(V * E log V) once per topology.
-  /// `capacity_rng` deals the 1/3:1/3:1/3 capacity classes.
-  Underlay(Topology topology, Rng& capacity_rng);
+  /// Host count at or below which kAuto routes densely.
+  static constexpr std::uint32_t kDenseRoutingThreshold = 4096;
+
+  /// Builds routing state.  Dense: O(V * E log V) time, O(V^2) memory.
+  /// Hierarchical: O(E log V) time, O(V + T^2) memory (T = transit nodes).
+  /// `capacity_rng` deals the 1/3:1/3:1/3 capacity classes; the draw
+  /// sequence is identical in every mode.
+  Underlay(Topology topology, Rng& capacity_rng,
+           RoutingMode mode = RoutingMode::kAuto);
 
   [[nodiscard]] std::uint32_t num_hosts() const {
     return static_cast<std::uint32_t>(topology_.graph.num_nodes());
   }
   [[nodiscard]] const Topology& topology() const { return topology_; }
 
+  /// Backend actually in use (kAuto and structure fallbacks resolved).
+  [[nodiscard]] RoutingMode routing_mode() const { return mode_; }
+
+  /// Bytes held by routing tables (the O(V^2) vs O(V) story in one number;
+  /// excludes the topology itself, which both modes share).
+  [[nodiscard]] std::size_t routing_memory_bytes() const;
+
   /// Propagation delay of the shortest path between two hosts.
   [[nodiscard]] sim::SimTime latency(HostIndex from, HostIndex to) const {
     return sim::SimTime::micros(
-        latency_us_[index(from.value(), to.value())]);
+        static_cast<std::int64_t>(latency_us(from.value(), to.value())));
   }
 
   /// Number of physical hops on the shortest path.
   [[nodiscard]] std::uint32_t path_hops(HostIndex from, HostIndex to) const;
 
-  /// Invokes `fn(edge)` for every physical edge on the shortest path.
+  /// Invokes `fn(edge)` for every physical edge on the shortest path, in
+  /// order from `from` to `to`.
   void for_each_path_edge(HostIndex from, HostIndex to,
                           const std::function<void(EdgeIndex)>& fn) const;
 
@@ -94,16 +170,87 @@ class Underlay {
       HostIndex host, const std::vector<HostIndex>& landmarks) const;
 
  private:
-  [[nodiscard]] std::size_t index(std::uint32_t from, std::uint32_t to) const {
+  /// One stub domain's attachment to the transit core.
+  struct StubDomain {
+    std::uint32_t first_node = 0;  // members are [first_node, first+count)
+    std::uint32_t num_nodes = 0;
+    std::uint32_t gateway = 0;  // stub node holding the up-link
+    std::uint32_t anchor = 0;   // transit node the gateway connects to
+    EdgeIndex gateway_edge = kNoEdge;
+    std::uint32_t gateway_latency_us = 0;
+  };
+
+  /// Shortest-path tree over one stub domain, rooted at `root`; arrays are
+  /// indexed by (node - domain.first_node).  Reused thread-locally so
+  /// repeated queries against the same (underlay, root) are free.
+  struct IntraTree {
+    std::uint64_t owner_id = 0;  // Underlay instance id (0 = empty cache)
+    std::uint32_t root = UINT32_MAX;
+    std::vector<std::uint64_t> dist_us;
+    std::vector<std::uint32_t> parent;  // next node toward root
+    std::vector<EdgeIndex> parent_edge;
+    std::vector<std::uint32_t> hops;
+  };
+
+  [[nodiscard]] std::uint64_t latency_us(std::uint32_t from,
+                                         std::uint32_t to) const;
+  [[nodiscard]] std::size_t dense_index(std::uint32_t from,
+                                        std::uint32_t to) const {
+    // 64-bit product: from * V overflows 32 bits past ~65k hosts.
     return static_cast<std::size_t>(from) * topology_.graph.num_nodes() + to;
   }
-  void dijkstra_from(std::uint32_t source);
+  void build_dense();
+  void dense_dijkstra_from(std::uint32_t source);
+  /// Returns false when the topology lacks the single-gateway transit-stub
+  /// structure the hierarchical decomposition needs.
+  [[nodiscard]] bool build_hierarchical();
+
+  [[nodiscard]] bool is_transit(std::uint32_t node) const {
+    return node < topology_.num_transit_nodes;
+  }
+  [[nodiscard]] const StubDomain& stub_of(std::uint32_t node) const {
+    return stub_domains_[topology_.domain[node]];
+  }
+  [[nodiscard]] std::size_t core_index(std::uint32_t a, std::uint32_t b) const {
+    return static_cast<std::size_t>(a) * topology_.num_transit_nodes + b;
+  }
+  /// Transit node anchoring `node`'s domain (or `node` itself if transit).
+  [[nodiscard]] std::uint32_t anchor_of(std::uint32_t node) const {
+    return is_transit(node) ? node : stub_of(node).anchor;
+  }
+  /// (gateway-walk latency + gateway edge), 0 for transit nodes.
+  [[nodiscard]] std::uint64_t uplink_us(std::uint32_t node) const {
+    if (is_transit(node)) return 0;
+    return gw_dist_us_[node] + stub_of(node).gateway_latency_us;
+  }
+  /// Shortest-path tree of `root`'s stub domain rooted at `root`, from the
+  /// thread-local cache (recomputed only when (owner, root) changes).
+  [[nodiscard]] const IntraTree& intra_tree(std::uint32_t root) const;
 
   Topology topology_;
-  std::vector<std::uint32_t> latency_us_;   // dense V*V
-  std::vector<std::uint32_t> first_hop_;    // dense V*V, next node from->to
-  std::vector<EdgeIndex> first_edge_;       // dense V*V, edge of that hop
-  std::vector<CapacityClass> capacity_;     // per host
+  RoutingMode mode_ = RoutingMode::kDense;
+  /// Process-unique id; distinguishes this instance from a destroyed one
+  /// that happened to reuse its address (thread-local tree cache validity).
+  std::uint64_t instance_id_;
+  std::vector<CapacityClass> capacity_;  // per host
+
+  // --- dense backend (V*V tables) ---
+  std::vector<std::uint32_t> dense_latency_us_;
+  std::vector<std::uint32_t> dense_first_hop_;  // next node from->to
+  std::vector<EdgeIndex> dense_first_edge_;     // edge of that hop
+
+  // --- hierarchical backend ---
+  std::vector<StubDomain> stub_domains_;  // indexed by domain id
+  // Per stub node: shortest path to its domain gateway (tree rooted at the
+  // gateway); zeros/kNoEdge for transit nodes.
+  std::vector<std::uint32_t> gw_dist_us_;
+  std::vector<std::uint32_t> gw_parent_;  // next node toward the gateway
+  std::vector<EdgeIndex> gw_parent_edge_;
+  std::vector<std::uint32_t> gw_hops_;
+  // All-pairs over the transit core only (T*T, T = num_transit_nodes).
+  std::vector<std::uint32_t> core_latency_us_;
+  std::vector<std::uint32_t> core_next_;  // next transit node on the path
+  std::vector<EdgeIndex> core_next_edge_;
 };
 
 }  // namespace hp2p::net

@@ -22,7 +22,8 @@ OverlayNetwork::OverlayNetwork(sim::Simulator& simulator,
     : simulator_(simulator), underlay_(underlay), options_(options),
       loss_rng_(options.loss_seed) {
   if (options_.track_link_stress) {
-    link_stress_.emplace(underlay_.topology().graph.num_edges());
+    link_stress_.emplace(underlay_.topology().graph.num_edges(),
+                         options_.link_stress_mode);
   }
 }
 
@@ -100,7 +101,7 @@ void OverlayNetwork::send(PeerIndex from, PeerIndex to, TrafficClass cls,
   const sim::SimTime delay = hop_latency(from, to, bytes) + fault_delay;
   simulator_.schedule_after(
       delay, [this, from, to, cls, bytes, msg_span,
-              deliver = std::move(deliver)]() {
+              deliver = std::move(deliver)]() mutable {
         --stats_.messages_in_flight;
         if (!alive(to)) {
           ++stats_.messages_dropped;

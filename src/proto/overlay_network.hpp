@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/ids.hpp"
+#include "common/inline_function.hpp"
 #include "common/rng.hpp"
 #include "net/underlay.hpp"
 #include "sim/simulator.hpp"
@@ -131,12 +132,19 @@ struct OverlayNetworkOptions {
   double loss_rate = 0.0;
   /// Seed of the loss process (independent of protocol randomness).
   std::uint64_t loss_seed = 0x10552eed;
+  /// Link-stress counter storage: kAuto switches to a sparse hash map past
+  /// LinkStress::kSparseThreshold edges (identical reported values).
+  net::LinkStress::Mode link_stress_mode = net::LinkStress::Mode::kAuto;
 };
 
 /// The transport.  One instance per simulation replica.
 class OverlayNetwork {
  public:
-  using Delivery = std::function<void()>;
+  /// Receiver-side continuation of one message.  Inline capacity covers
+  /// every protocol handler closure on the hot path; oversized closures
+  /// still work, they just heap-allocate (see InlineFunction).
+  static constexpr std::size_t kDeliveryCapacity = 80;
+  using Delivery = InlineFunction<void(), kDeliveryCapacity>;
 
   OverlayNetwork(sim::Simulator& simulator, const net::Underlay& underlay,
                  OverlayNetworkOptions options = {});
@@ -158,6 +166,14 @@ class OverlayNetwork {
   /// peer are dropped at delivery time -- exactly the paper's crash model.
   void set_alive(PeerIndex peer, bool is_alive) {
     alive_[peer.value()] = is_alive;
+    ++liveness_epoch_;
+  }
+
+  /// Bumped on every set_alive(); lets higher layers cache liveness-derived
+  /// snapshots (e.g. HybridSystem::live_peers) without hooking every crash
+  /// and leave path.
+  [[nodiscard]] std::uint64_t liveness_epoch() const {
+    return liveness_epoch_;
   }
 
   /// Sends one overlay message: schedules `deliver` at
@@ -229,6 +245,7 @@ class OverlayNetwork {
   OverlayNetworkOptions options_;
   std::vector<HostIndex> hosts_;
   std::vector<bool> alive_;
+  std::uint64_t liveness_epoch_ = 0;
   std::vector<std::uint64_t> sent_by_;
   std::vector<std::uint64_t> received_by_;
   NetworkStats stats_;

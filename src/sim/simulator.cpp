@@ -7,26 +7,47 @@ namespace hp2p::sim {
 TimerId Simulator::schedule_at(SimTime when, Action action) {
   if (when < now_) when = now_;  // never schedule into the past
   const std::uint64_t seq = next_seq_++;
-  heap_.push(HeapItem{when, seq});
-  pending_.emplace(seq, Pending{when, std::move(action)});
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.when = when;
+  s.seq = seq;
+  s.action = std::move(action);
+  heap_.push(HeapItem{when, seq, slot});
+  ++live_events_;
   ++stats_.events_scheduled;
   if (trace_) trace_(TraceEvent{TraceEvent::Kind::kSchedule, seq, when});
-  return TimerId{seq};
+  return TimerId{seq, slot};
+}
+
+void Simulator::free_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.seq = 0;
+  s.action.reset();
+  free_slots_.push_back(slot);
+  --live_events_;
 }
 
 bool Simulator::cancel(TimerId id) {
   if (!id.valid()) return false;
-  auto it = pending_.find(id.seq_);
-  if (it == pending_.end()) return false;
-  const SimTime when = it->second.when;
-  pending_.erase(it);
+  if (id.slot_ >= slots_.size() || slots_[id.slot_].seq != id.seq_) {
+    return false;  // already fired or already cancelled
+  }
+  const SimTime when = slots_[id.slot_].when;
+  free_slot(id.slot_);
   ++stats_.events_cancelled;
   if (trace_) trace_(TraceEvent{TraceEvent::Kind::kCancel, id.seq_, when});
   return true;
 }
 
 const Simulator::HeapItem* Simulator::peek_live() {
-  while (!heap_.empty() && !pending_.contains(heap_.top().seq)) {
+  while (!heap_.empty() && !slot_live(heap_.top())) {
     heap_.pop();  // cancelled; discard the corpse
     ++stats_.corpses_skipped;
   }
@@ -34,20 +55,17 @@ const Simulator::HeapItem* Simulator::peek_live() {
 }
 
 bool Simulator::pop_live(HeapItem& out, Action& action) {
-  // One hash lookup per heap item, live or corpse: the find() both detects
-  // cancellation and yields the action.
   while (!heap_.empty()) {
     const HeapItem top = heap_.top();
-    const auto it = pending_.find(top.seq);
-    if (it == pending_.end()) {
+    if (!slot_live(top)) {
       heap_.pop();  // cancelled; discard the corpse
       ++stats_.corpses_skipped;
       continue;
     }
     heap_.pop();
     out = top;
-    action = std::move(it->second.action);
-    pending_.erase(it);
+    action = std::move(slots_[top.slot].action);
+    free_slot(top.slot);
     return true;
   }
   return false;

@@ -5,17 +5,25 @@
 // they were scheduled (a monotone sequence number breaks ties), so a run is
 // a pure function of (parameters, seed).
 //
-// Cancellation is lazy: cancel() marks the entry and the queue skips it on
-// pop, which keeps schedule/cancel O(log n) without heap surgery.  The
-// protocols cancel timers constantly (every HELLO reset), so this matters.
+// Cancellation is lazy: cancel() frees the slot and the queue skips the
+// corpse on pop, which keeps schedule/cancel O(log n) without heap surgery.
+// The protocols cancel timers constantly (every HELLO reset), so this
+// matters.
+//
+// Storage is an index-based slot arena: actions live in a flat vector of
+// reusable slots (free-list recycling) instead of a node-allocating hash
+// map, and the action type is an InlineFunction, so the steady-state
+// schedule/dispatch path performs no heap allocations once the arena and
+// heap vectors have reached their high-water capacity (asserted by the
+// micro_kernel zero-allocation bench).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
+#include "common/inline_function.hpp"
 #include "sim/time.hpp"
 
 namespace hp2p::sim {
@@ -29,8 +37,10 @@ class TimerId {
 
  private:
   friend class Simulator;
-  constexpr explicit TimerId(std::uint64_t seq) : seq_(seq) {}
-  std::uint64_t seq_{0};  // 0 = null handle
+  constexpr explicit TimerId(std::uint64_t seq, std::uint32_t slot)
+      : seq_(seq), slot_(slot) {}
+  std::uint64_t seq_{0};   // 0 = null handle; monotone, unique per event
+  std::uint32_t slot_{0};  // arena slot the event occupies (O(1) cancel)
 };
 
 /// Counters the kernel maintains; exposed for tests and microbenchmarks.
@@ -55,7 +65,13 @@ struct TraceEvent {
 /// whole-simulator granularity (one Simulator per thread).
 class Simulator {
  public:
-  using Action = std::function<void()>;
+  /// Inline capacity sized for the transport's delivery-wrapping closure
+  /// (the hottest event at scale): transport scalars + trace context + a
+  /// nested Delivery (itself max_align-padded) land at 144 bytes; larger
+  /// closures still work, they just heap-allocate like std::function
+  /// always did.  micro_kernel's zero-alloc benches pin this.
+  static constexpr std::size_t kActionCapacity = 160;
+  using Action = InlineFunction<void(), kActionCapacity>;
   using TraceFn = std::function<void(const TraceEvent&)>;
 
   Simulator() = default;
@@ -78,10 +94,10 @@ class Simulator {
   bool cancel(TimerId id);
 
   /// True when no live events remain.
-  [[nodiscard]] bool idle() const { return pending_.empty(); }
+  [[nodiscard]] bool idle() const { return live_events_ == 0; }
 
   /// Number of live (not yet fired, not cancelled) events.
-  [[nodiscard]] std::size_t pending_events() const { return pending_.size(); }
+  [[nodiscard]] std::size_t pending_events() const { return live_events_; }
 
   /// Periodic housekeeping devices (gauge samplers, invariant auditors)
   /// count their armed tick as a *daemon* event: daemons re-arm only while
@@ -95,7 +111,7 @@ class Simulator {
   /// Live events that are not armed daemon ticks: the work that justifies
   /// keeping periodic housekeeping running.
   [[nodiscard]] std::size_t pending_work() const {
-    return pending_.size() - daemon_events_;
+    return live_events_ - daemon_events_;
   }
 
   /// Runs a single event; returns false when the queue is empty.
@@ -118,9 +134,13 @@ class Simulator {
   struct HeapItem {
     SimTime when;
     std::uint64_t seq;
+    std::uint32_t slot;
   };
-  struct Pending {
-    SimTime when;  // kept so cancel() can report the fire time in traces
+  /// One arena slot.  seq == 0 marks a free slot; a heap corpse is an item
+  /// whose (slot, seq) no longer matches the slot's current occupant.
+  struct Slot {
+    SimTime when{};  // kept so cancel() can report the fire time in traces
+    std::uint64_t seq = 0;
     Action action;
   };
   struct Later {
@@ -130,21 +150,28 @@ class Simulator {
     }
   };
 
+  [[nodiscard]] bool slot_live(const HeapItem& item) const {
+    return slots_[item.slot].seq == item.seq;
+  }
+  void free_slot(std::uint32_t slot);
+
   /// Discards cancelled corpses from the heap top (counting them in
   /// stats_.corpses_skipped) and returns the next live item, or nullptr when
   /// nothing live remains.  The returned pointer is invalidated by any heap
   /// mutation.
   const HeapItem* peek_live();
 
-  /// Pops heap items until one still present in pending_ surfaces.
+  /// Pops heap items until one whose slot is still live surfaces.
   /// Returns false when nothing live remains.
   bool pop_live(HeapItem& out, Action& action);
 
   SimTime now_{};
   std::uint64_t next_seq_ = 1;
   std::size_t daemon_events_ = 0;
+  std::size_t live_events_ = 0;
   std::priority_queue<HeapItem, std::vector<HeapItem>, Later> heap_;
-  std::unordered_map<std::uint64_t, Pending> pending_;  // live events by seq
+  std::vector<Slot> slots_;               // arena of live events
+  std::vector<std::uint32_t> free_slots_; // recycled slot indices
   SimulatorStats stats_;
   TraceFn trace_;
 };

@@ -211,6 +211,161 @@ TEST(LinkStress, Counters) {
   EXPECT_DOUBLE_EQ(ls.mean_stress(), 0.75);
 }
 
+TEST(LinkStress, SparseAgreesWithDense) {
+  // The sparse (hash-map) counters must report exactly what the dense
+  // per-edge vector reports, including the mean's full-edge-count
+  // denominator.
+  constexpr std::size_t kEdges = 64;
+  LinkStress dense{kEdges, LinkStress::Mode::kDense};
+  LinkStress sparse{kEdges, LinkStress::Mode::kSparse};
+  ASSERT_FALSE(dense.sparse());
+  ASSERT_TRUE(sparse.sparse());
+  Rng rng{9};
+  for (int i = 0; i < 1000; ++i) {
+    const auto e = static_cast<EdgeIndex>(rng.index(kEdges));
+    dense.bump(e);
+    sparse.bump(e);
+  }
+  for (std::uint32_t e = 0; e < kEdges; ++e) {
+    EXPECT_EQ(sparse.count(e), dense.count(e)) << "edge " << e;
+  }
+  EXPECT_EQ(sparse.max_stress(), dense.max_stress());
+  EXPECT_EQ(sparse.total_copies(), dense.total_copies());
+  EXPECT_DOUBLE_EQ(sparse.mean_stress(), dense.mean_stress());
+}
+
+TEST(TransitStub, ForTotalNodesKeepsHistoricalShapeAtPaperScale) {
+  // Up to 48*64+16 nodes the parameters must be exactly what the original
+  // formula produced -- the paper-figure topologies (and their RNG streams)
+  // depend on it.
+  for (std::uint32_t n : {100u, 1001u, 2000u, 3088u}) {
+    const auto p = TransitStubParams::for_total_nodes(n);
+    EXPECT_EQ(p.transit_domains, 4u);
+    EXPECT_EQ(p.transit_nodes_per_domain, 4u);
+    EXPECT_EQ(p.stub_domains_per_transit_node, 3u);
+    EXPECT_EQ(p.stub_nodes_per_domain,
+              std::max(1u, (n - 16u + 47u) / 48u));
+    EXPECT_GE(p.total_nodes(), n);
+  }
+}
+
+TEST(TransitStub, ForTotalNodesGrowsTransitSkeletonAtScale) {
+  // Past the paper-scale knee the stub size pins and the transit skeleton
+  // widens, so stub domains (and intra-domain query cost) stay bounded.
+  for (std::uint32_t n : {10'000u, 50'000u, 100'000u}) {
+    const auto p = TransitStubParams::for_total_nodes(n);
+    EXPECT_EQ(p.stub_nodes_per_domain,
+              TransitStubParams::kMaxStubNodesPerDomain);
+    EXPECT_GE(p.total_nodes(), n);
+    EXPECT_LE(p.total_nodes(), n + 772u);  // at most one extra transit domain
+    const std::uint32_t transit =
+        p.transit_domains * p.transit_nodes_per_domain;
+    EXPECT_LT(transit, p.total_nodes() / 100);  // core stays a sliver
+  }
+}
+
+TEST(HierarchicalRouting, LatenciesMatchDenseExactly) {
+  // The transit-stub decomposition is exact (single gateway edge per stub
+  // domain), so on-demand answers must equal the all-pairs Dijkstra table
+  // bit-for-bit -- every pair, not a sample.
+  Rng topo_rng{41};
+  const auto p = TransitStubParams::for_total_nodes(300);
+  const Topology topo = generate_transit_stub(p, topo_rng);
+  Rng cap_a{7};
+  Rng cap_b{7};
+  const Underlay dense{topo, cap_a, RoutingMode::kDense};
+  const Underlay hier{topo, cap_b, RoutingMode::kHierarchical};
+  ASSERT_EQ(dense.routing_mode(), RoutingMode::kDense);
+  ASSERT_EQ(hier.routing_mode(), RoutingMode::kHierarchical);
+  const std::uint32_t n = dense.num_hosts();
+  for (std::uint32_t a = 0; a < n; ++a) {
+    for (std::uint32_t b = 0; b < n; ++b) {
+      ASSERT_EQ(dense.latency(HostIndex{a}, HostIndex{b}),
+                hier.latency(HostIndex{a}, HostIndex{b}))
+          << "pair (" << a << ", " << b << ")";
+    }
+  }
+  // Capacity dealing consumed the same RNG stream in both modes.
+  for (std::uint32_t h = 0; h < n; ++h) {
+    EXPECT_EQ(dense.capacity(HostIndex{h}), hier.capacity(HostIndex{h}));
+  }
+}
+
+TEST(HierarchicalRouting, PathWalksAreSelfConsistent) {
+  // Edge walks must sum to the reported latency and count the reported
+  // hops, for intra-domain, cross-domain, and transit-anchored pairs alike.
+  Rng topo_rng{43};
+  const auto p = TransitStubParams::for_total_nodes(400);
+  Rng cap{3};
+  const Underlay u{generate_transit_stub(p, topo_rng), cap,
+                   RoutingMode::kHierarchical};
+  ASSERT_EQ(u.routing_mode(), RoutingMode::kHierarchical);
+  const auto& g = u.topology().graph;
+  Rng pair_rng{6};
+  auto check_pair = [&](HostIndex a, HostIndex b) {
+    std::int64_t sum = 0;
+    std::uint32_t edges = 0;
+    u.for_each_path_edge(a, b, [&](EdgeIndex e) {
+      sum += g.edge_latency_us(e);
+      ++edges;
+    });
+    EXPECT_EQ(sum, u.latency(a, b).as_micros())
+        << "pair (" << a.value() << ", " << b.value() << ")";
+    EXPECT_EQ(edges, u.path_hops(a, b));
+    EXPECT_EQ(u.latency(a, b), u.latency(b, a));
+  };
+  for (int trial = 0; trial < 300; ++trial) {
+    check_pair(HostIndex{static_cast<std::uint32_t>(pair_rng.index(u.num_hosts()))},
+               HostIndex{static_cast<std::uint32_t>(pair_rng.index(u.num_hosts()))});
+  }
+  // Same-stub-domain pairs specifically (consecutive ids past the transit
+  // block usually share a domain).
+  const std::uint32_t base = u.topology().num_transit_nodes;
+  for (std::uint32_t i = base; i + 1 < u.num_hosts(); i += 7) {
+    check_pair(HostIndex{i}, HostIndex{i + 1});
+  }
+  // Transit-to-transit and transit-to-stub pairs.
+  for (std::uint32_t t = 0; t < base; ++t) {
+    check_pair(HostIndex{t}, HostIndex{(t * 31) % base});
+    check_pair(HostIndex{t}, HostIndex{base + (t * 53) % (u.num_hosts() - base)});
+  }
+}
+
+TEST(HierarchicalRouting, RoutingMemoryIsLinearNotQuadratic) {
+  Rng topo_rng{47};
+  const auto p = TransitStubParams::for_total_nodes(2000);
+  const Topology topo = generate_transit_stub(p, topo_rng);
+  Rng cap_a{5};
+  Rng cap_b{5};
+  const Underlay dense{topo, cap_a, RoutingMode::kDense};
+  const Underlay hier{topo, cap_b, RoutingMode::kHierarchical};
+  const std::size_t v = dense.num_hosts();
+  // Dense holds three V*V tables; hierarchical holds O(V) per-node state
+  // plus the tiny transit-core tables.
+  EXPECT_GE(dense.routing_memory_bytes(), v * v * 12);
+  EXPECT_LT(hier.routing_memory_bytes(), v * 64 + 16u * 1024u);
+  EXPECT_LT(hier.routing_memory_bytes() * 20,
+            dense.routing_memory_bytes());
+}
+
+TEST(HierarchicalRouting, FallsBackToDenseOnUnstructuredTopology) {
+  // A topology without the single-gateway transit-stub shape cannot use the
+  // decomposition; the Underlay must quietly route densely instead.
+  Topology topo;
+  topo.graph = Graph{4};
+  topo.graph.add_edge(0, 1, 10);
+  topo.graph.add_edge(1, 2, 10);
+  topo.graph.add_edge(2, 3, 10);
+  topo.graph.add_edge(3, 0, 10);
+  topo.role.assign(4, NodeRole::kStub);
+  topo.domain.assign(4, 0);
+  topo.num_transit_nodes = 0;
+  Rng cap{1};
+  const Underlay u{std::move(topo), cap, RoutingMode::kHierarchical};
+  EXPECT_EQ(u.routing_mode(), RoutingMode::kDense);
+  EXPECT_EQ(u.latency(HostIndex{0}, HostIndex{2}).as_micros(), 20);
+}
+
 TEST(LinkStress, IntraStubFasterThanInterTransit) {
   // Structural sanity of the latency classes: two hosts in the same stub
   // domain should typically be closer than hosts in different transit

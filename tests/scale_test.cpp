@@ -1,0 +1,116 @@
+// Scale guard-rails (ctest label: scale -- excluded from the quick tier
+// alongside chaos/soak/durability).
+//
+// 1. A 50,000-peer replica must complete correctly under a peak-RSS ceiling
+//    the old all-pairs routing tables alone would blow through: dense
+//    storage at 50k hosts is V^2 * 12 bytes ~ 31 GB, so staying under 4 GB
+//    for the *whole process* proves the hierarchical O(V) path carried the
+//    run.
+// 2. The N=1,000 paper-scale configuration keeps a pinned metrics digest:
+//    any change to RNG streams, event ordering, dense routing, or metric
+//    accounting at paper scale trips this test.  If a change is intentional,
+//    re-pin the constant from the failure message -- that is an explicit
+//    statement that the paper benches moved.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "common/proc_stats.hpp"
+#include "common/rng.hpp"
+#include "exp/harness.hpp"
+#include "exp/metrics_collect.hpp"
+#include "net/transit_stub.hpp"
+#include "net/underlay.hpp"
+#include "stats/metrics.hpp"
+
+namespace hp2p::exp {
+namespace {
+
+/// Same filtering as repro_test: every exported metric except host wall
+/// times, flattened to "key=value" lines.
+std::string filtered_dump(const RunConfig& cfg, const RunResult& result) {
+  stats::MetricsRegistry reg;
+  collect_run_config(reg, "config", cfg);
+  collect_run_result(reg, "run", result);
+  const std::string_view kWall = ".wall_ms";
+  std::string out;
+  for (const auto& [key, value] : reg.entries()) {
+    if (key.size() >= kWall.size() &&
+        key.compare(key.size() - kWall.size(), kWall.size(), kWall) == 0) {
+      continue;
+    }
+    out += key;
+    out += '=';
+    out += value.dump();
+    out += '\n';
+  }
+  return out;
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+TEST(Scale, FiftyThousandPeersFitUnderRssCeiling) {
+  RunConfig cfg;
+  cfg.seed = 7;
+  cfg.num_peers = 50'000;
+  cfg.num_items = 500;
+  cfg.num_lookups = 500;
+  cfg.hybrid.ps = 0.99;  // ~500 t-peers; s-networks absorb the mass
+  cfg.hybrid.ttl = 8;    // delta=3 trees of ~100 peers need flood radius 8
+  cfg.hybrid.t_routing = hybrid::TRouting::kFinger;
+  cfg.tpeers_first = true;
+
+  const RunResult r = run_hybrid_experiment(cfg);
+  EXPECT_EQ(r.joins_completed, 50'000u);
+  EXPECT_EQ(r.lookups.issued, 500u);
+  EXPECT_GT(r.lookups.succeeded, 450u);
+  EXPECT_EQ(r.audit_violations, 0u);
+
+  const std::uint64_t peak = peak_rss_bytes();
+  if (peak != 0) {  // procfs available
+    EXPECT_LT(peak, std::uint64_t{4} << 30)
+        << "50k-peer run peaked at " << (peak >> 20)
+        << " MiB; dense all-pairs routing alone would need ~31 GB, so the "
+           "hierarchical path has regressed";
+  }
+}
+
+TEST(Scale, UnderlayMemoryStaysLinearAtFiftyThousandHosts) {
+  Rng rng{7};
+  Rng topo_rng = rng.fork(1);
+  const auto params = net::TransitStubParams::for_total_nodes(50'001);
+  const net::Underlay underlay{net::generate_transit_stub(params, topo_rng),
+                               topo_rng};
+  ASSERT_EQ(underlay.routing_mode(), net::RoutingMode::kHierarchical);
+  // Per-host uplink state is ~16 B/host; the transit-core tables add a
+  // V-independent few MB.  200 B/host is an order-of-magnitude cushion that
+  // any O(V^2) structure bursts immediately.
+  EXPECT_LT(underlay.routing_memory_bytes(),
+            std::size_t{underlay.num_hosts()} * 200);
+}
+
+TEST(Scale, PaperScaleDigestIsPinned) {
+  // The stock N=1,000 configuration (RunConfig defaults, seed 42): dense
+  // routing, ring t-network, interleaved joins -- the shape every fig/table
+  // bench builds on.
+  RunConfig cfg;
+  cfg.seed = 42;
+  const std::string dump = filtered_dump(cfg, run_hybrid_experiment(cfg));
+  const std::uint64_t kPinned = 0x658944b218f7f980ull;
+  const std::uint64_t actual = fnv1a(dump);
+  EXPECT_EQ(actual, kPinned)
+      << "N=1,000 paper-scale metrics changed (digest 0x" << std::hex << actual
+      << std::dec << ", " << dump.size()
+      << " bytes dumped); if intentional, update kPinned";
+}
+
+}  // namespace
+}  // namespace hp2p::exp

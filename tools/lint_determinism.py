@@ -15,8 +15,17 @@ the constructs that historically break that:
   wallclock        Wall-clock reads (std::chrono system/steady/high-res
                    clocks, time(), gettimeofday): host time must never steer
                    sim behaviour.  Use sim::Simulator::now().
-  addr-ordered     std::map/std::set keyed by raw pointer: ordering follows
-                   allocation addresses, which differ run to run.
+  addr-ordered     std::map/std::set/std::multimap/std::multiset keyed by a
+                   raw pointer, or a std::priority_queue of pointers:
+                   ordering follows allocation addresses, which differ run
+                   to run.  Key by a stable dense index (arena slot, peer
+                   id) instead -- the classic bug an index-arena refactor
+                   can reintroduce by mixing pointers back in.
+  addr-keyed       Pointer-keyed unordered container: hash order follows
+                   allocation, so any iteration (now or added later) is
+                   nondeterministic, and the unordered-iter rule cannot see
+                   through aliases.  Key by stable index; suppress only for
+                   provably lookup-only tables.
 
 Escape hatch: a finding is suppressed when the same line or the line above
 carries  // lint:allow(<rule>)  (e.g. measurement-only wall-clock reads).
@@ -51,8 +60,20 @@ PATTERN_RULES = {
         "wall-clock read in sim code; use sim::Simulator::now()",
     ),
     "addr-ordered": (
-        re.compile(r"std::(?:map|set)\s*<\s*(?:const\s+)?\w[\w:]*\s*\*"),
+        re.compile(
+            r"std::(?:map|set|multimap|multiset)\s*<\s*"
+            r"(?:const\s+)?\w[\w:]*(?:\s+const)?\s*\*"
+            r"|std::priority_queue\s*<\s*(?:const\s+)?\w[\w:]*(?:\s+const)?\s*\*"
+        ),
         "pointer-keyed ordered container; ordering follows allocation",
+    ),
+    "addr-keyed": (
+        re.compile(
+            r"std::unordered_(?:map|set|multimap|multiset)\s*<\s*"
+            r"(?:const\s+)?\w[\w:]*(?:\s+const)?\s*\*"
+        ),
+        "pointer-keyed unordered container; hash order follows allocation "
+        "-- key by a stable index",
     ),
 }
 
