@@ -101,9 +101,19 @@ int main() {
                       "wall_s", "peak_rss_MB", "B/peer", "lookup_ok"}};
   // Ascending rungs: VmHWM is a process-wide high-water mark, so each rung's
   // reading is dominated by its own (largest-so-far) run.
+  const bool profiling = bench::profile_from_env();
   for (const std::uint32_t peers : ladder) {
     const auto fp = underlay_footprint(scale.seed, peers);
-    const auto cfg = rung_config(scale, peers);
+    auto cfg = rung_config(scale, peers);
+    // HP2P_PROFILE=1 profiles the ladder's top rung (the interesting one):
+    // component attribution plus 1 s-period occupancy gauges (arena slots,
+    // event backlog, live heap bytes, VmRSS) in the report's timeseries.
+    stats::Profiler profiler;
+    const bool profile_rung = profiling && peers == ladder.back();
+    if (profile_rung) {
+      cfg.profiler = &profiler;
+      cfg.sample_period = sim::SimTime::seconds(1);
+    }
     const auto r = exp::run_hybrid_experiment(cfg);
 
     double wall_ms = 0;
@@ -147,6 +157,10 @@ int main() {
     m.set(key + ".sim_ms_total", stats::JsonValue{sim_ms});
     m.set(key + ".peak_rss_bytes", stats::JsonValue{peak_rss});
     m.set(key + ".bytes_per_peer", stats::JsonValue{bytes_per_peer});
+    if (profile_rung) {
+      if (r.timeseries) reporter.add_timeseries(*r.timeseries);
+      bench::report_profile(reporter, profiler);
+    }
   }
   table.print(std::cout);
   reporter.add_table("scale_ladder", table);

@@ -2,15 +2,19 @@
 #pragma once
 
 #include <cstdio>
+#include <ctime>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "common/env.hpp"
 #include "exp/harness.hpp"
 #include "stats/json.hpp"
 #include "stats/metrics.hpp"
+#include "stats/profiler.hpp"
 #include "stats/table.hpp"
 #include "stats/timeseries.hpp"
 
@@ -41,6 +45,13 @@ struct Scale {
 /// that support it (the run additionally writes TRACE_<name>.json).
 [[nodiscard]] inline bool trace_from_env() {
   return env_or("HP2P_TRACE", std::int64_t{0}) != 0;
+}
+
+/// HP2P_PROFILE=1 attaches a stats::Profiler to the benches that support it:
+/// the report gains a `profile` section and the run writes a collapsed-stack
+/// file (PROFILE_<name>.collapsed) for flamegraph.pl / speedscope.
+[[nodiscard]] inline bool profile_from_env() {
+  return env_or("HP2P_PROFILE", std::int64_t{0}) != 0;
 }
 
 [[nodiscard]] inline exp::RunConfig base_config(const Scale& s,
@@ -89,16 +100,26 @@ template <typename Fn>
 }
 
 /// Machine-readable run report, written next to the ASCII output as
-/// BENCH_<name>.json.  Schema (version 3; v1 fields are unchanged, v2 adds
+/// BENCH_<name>.json.  Schema (version 4; v1 fields are unchanged, v2 adds
 /// the always-present `timeseries` array, v3 adds the `replication.*`
 /// namespace to per-run metrics -- replica/re-replication/anti-entropy/
 /// read-repair counters plus items_stored / items_recoverable /
-/// data_availability -- emitted by collect_run_result for every run):
+/// data_availability -- emitted by collect_run_result for every run; v4
+/// adds the always-present `run_info` provenance object and, on profiled
+/// runs (HP2P_PROFILE=1), the optional `profile` section exported by
+/// stats::Profiler::to_json()):
 ///
 ///   {
-///     "schema_version": 3,
+///     "schema_version": 4,
 ///     "bench": "<name>",
 ///     "seed": <int>,
+///     "run_info": {                   // provenance, never feeds metrics
+///       "wall_unix_s": <int>,         // host clock at write() time
+///       "git_describe": "<str>",      // build tree version ("unknown" if
+///                                     //   the build ran outside git)
+///       "host_threads": <int>,        // std::thread::hardware_concurrency
+///       "peers": <int>               // headline scale of this run
+///     },
 ///     "config": { ... },              // nested; scale + bench-specific knobs
 ///     "metrics": { ... },             // nested MetricsRegistry export
 ///     "tables": [                     // the ASCII tables, verbatim cells
@@ -106,7 +127,8 @@ template <typename Fn>
 ///     ],
 ///     "timeseries": [                 // sampled gauges (empty when not run)
 ///       {"name": "...", "period_ms": ..., "t_ms": [...], "series": {...}}
-///     ]
+///     ],
+///     "profile": { ... }              // only on HP2P_PROFILE=1 runs
 ///   }
 ///
 /// Benches populate config()/metrics() through the registry API and mirror
@@ -115,13 +137,14 @@ template <typename Fn>
 /// or concurrent run never leaves a truncated report behind.
 class Reporter {
  public:
-  static constexpr std::int64_t kSchemaVersion = 3;
+  static constexpr std::int64_t kSchemaVersion = 4;
 
   explicit Reporter(std::string name, std::uint64_t seed = 0)
       : name_(std::move(name)), seed_(seed) {}
 
   Reporter(std::string name, const Scale& s)
       : Reporter(std::move(name), s.seed) {
+    peers_ = s.peers;
     config_.set("peers", stats::JsonValue{std::uint64_t{s.peers}});
     config_.set("items", stats::JsonValue{static_cast<std::uint64_t>(s.items)});
     config_.set("lookups",
@@ -160,11 +183,32 @@ class Reporter {
     timeseries_.push_back(ts.to_json());
   }
 
+  /// Embeds the profiler export (stats::Profiler::to_json()) as the
+  /// report's `profile` section (schema v4, HP2P_PROFILE=1 runs only).
+  void set_profile(stats::JsonValue profile) { profile_ = std::move(profile); }
+
   [[nodiscard]] stats::JsonValue to_json() const {
     stats::JsonValue root = stats::JsonValue::object();
     root.set("schema_version", stats::JsonValue{kSchemaVersion});
     root.set("bench", stats::JsonValue{name_});
     root.set("seed", stats::JsonValue{seed_});
+    // Provenance only: nothing under run_info may feed a metric or a table,
+    // so host-dependent values here never threaten run determinism.
+    stats::JsonValue run_info = stats::JsonValue::object();
+    run_info.set("wall_unix_s",
+                 stats::JsonValue{
+                     static_cast<std::uint64_t>(std::time(nullptr))});
+#ifdef HP2P_GIT_DESCRIBE
+    run_info.set("git_describe", stats::JsonValue{std::string{
+                                     HP2P_GIT_DESCRIBE}});
+#else
+    run_info.set("git_describe", stats::JsonValue{std::string{"unknown"}});
+#endif
+    run_info.set("host_threads",
+                 stats::JsonValue{
+                     std::uint64_t{std::thread::hardware_concurrency()}});
+    run_info.set("peers", stats::JsonValue{std::uint64_t{peers_}});
+    root.set("run_info", std::move(run_info));
     root.set("config", config_.to_json());
     root.set("metrics", metrics_.to_json());
     stats::JsonValue tables = stats::JsonValue::array();
@@ -173,6 +217,7 @@ class Reporter {
     stats::JsonValue timeseries = stats::JsonValue::array();
     for (const stats::JsonValue& ts : timeseries_) timeseries.push_back(ts);
     root.set("timeseries", std::move(timeseries));
+    if (profile_) root.set("profile", *profile_);
     return root;
   }
 
@@ -209,10 +254,45 @@ class Reporter {
  private:
   std::string name_;
   std::uint64_t seed_ = 0;
+  std::uint32_t peers_ = 0;
   stats::MetricsRegistry config_;
   stats::MetricsRegistry metrics_;
   std::vector<stats::JsonValue> tables_;
   std::vector<stats::JsonValue> timeseries_;
+  std::optional<stats::JsonValue> profile_;
 };
+
+/// Uniform HP2P_PROFILE=1 epilogue for a profiled run: prints the
+/// per-component attribution table (mirrored into the report), embeds the
+/// `profile` section, and writes the collapsed-stack file next to the JSON.
+inline void report_profile(Reporter& reporter, const stats::Profiler& prof) {
+  stats::Table table{{"component", "events", "cpu_ms", "allocs", "alloc_KB"}};
+  for (std::size_t c = 0; c < sim::kNumComponents; ++c) {
+    const auto total =
+        prof.component_total(static_cast<sim::Component>(c));
+    if (total.enters == 0 && total.cpu_ns == 0) continue;
+    table.row()
+        .cell(std::string{
+            sim::component_name(static_cast<sim::Component>(c))})
+        .cell(total.enters)
+        .cell(static_cast<double>(total.cpu_ns) / 1e6, 2)
+        .cell(total.allocs)
+        .cell(static_cast<double>(total.alloc_bytes) / 1024.0, 1);
+  }
+  table.print(std::cout);
+  std::printf("profile: dispatch %.2f ms, attributed %.2f ms (%.1f%%)\n",
+              static_cast<double>(prof.dispatch_ns_total()) / 1e6,
+              static_cast<double>(prof.attributed_ns()) / 1e6,
+              prof.dispatch_ns_total() > 0
+                  ? 100.0 * static_cast<double>(prof.attributed_ns()) /
+                        static_cast<double>(prof.dispatch_ns_total())
+                  : 0.0);
+  reporter.add_table("profile_components", table);
+  reporter.set_profile(prof.to_json());
+  const std::string collapsed = "PROFILE_" + reporter.name() + ".collapsed";
+  if (prof.write_collapsed(collapsed)) {
+    std::printf("profile: %s\n", collapsed.c_str());
+  }
+}
 
 }  // namespace hp2p::bench

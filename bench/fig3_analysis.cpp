@@ -130,5 +130,24 @@ int main() {
       std::printf("trace: TRACE_fig3_analysis.json\n");
     }
   }
+
+  // HP2P_PROFILE=1: one profiled replica at the same operating point.
+  // Adds the schema-v4 `profile` section (per-component CPU/event/alloc
+  // attribution, per-message-class time and bytes) and writes
+  // PROFILE_fig3_analysis.collapsed for flamegraph.pl / speedscope.
+  if (bench::profile_from_env()) {
+    bench::print_header(
+        "Profiled replica -- per-component CPU/alloc attribution",
+        "observability pass; see README 'Profiling a run'", scale);
+    stats::Profiler profiler;
+    auto cfg = bench::base_config(scale, 0);
+    cfg.hybrid.ps = 0.8;
+    cfg.profiler = &profiler;
+    cfg.sample_period = sim::SimTime::millis(250);
+    const auto result = exp::run_hybrid_experiment(cfg);
+    exp::collect_run_result(reporter.metrics(), "profiled", result);
+    if (result.timeseries) reporter.add_timeseries(*result.timeseries);
+    bench::report_profile(reporter, profiler);
+  }
   return reporter.write() ? 0 : 1;
 }

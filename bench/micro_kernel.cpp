@@ -6,15 +6,13 @@
 // (e.g. the event-loop items_per_second guarding the trace-hook overhead).
 #include <benchmark/benchmark.h>
 
-#include <atomic>
-#include <cstdlib>
 #include <deque>
-#include <new>
 #include <unordered_map>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "chord/finger_table.hpp"
+#include "common/alloc_stats.hpp"
 #include "common/hashing.hpp"
 #include "common/rng.hpp"
 #include "net/transit_stub.hpp"
@@ -23,38 +21,21 @@
 #include "sim/simulator.hpp"
 #include "stats/flight_recorder.hpp"
 #include "stats/histogram.hpp"
+#include "stats/profiler.hpp"
 #include "stats/trace.hpp"
 
-// --- Global operator-new counting hook --------------------------------------
-// Counts every heap allocation in the binary so the steady-state benches can
-// ASSERT the event dispatch path allocates nothing (the InlineFunction +
-// slot-arena contract).  The hook costs one relaxed atomic increment; the
-// other benches measure through it uniformly.
-
-namespace {
-std::atomic<std::uint64_t> g_heap_allocs{0};
-
-void* counted_alloc(std::size_t size) {
-  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size > 0 ? size : 1)) return p;
-  throw std::bad_alloc{};
-}
-
-std::uint64_t heap_allocs() {
-  return g_heap_allocs.load(std::memory_order_relaxed);
-}
-}  // namespace
-
-void* operator new(std::size_t size) { return counted_alloc(size); }
-void* operator new[](std::size_t size) { return counted_alloc(size); }
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+// Heap-allocation counting comes from the shared common/alloc_stats hook
+// (referencing its accessors links the counting operator new into this
+// binary), so the steady-state benches can ASSERT the event dispatch path
+// allocates nothing (the InlineFunction + slot-arena contract).  The hook
+// costs one relaxed atomic increment; the other benches measure through it
+// uniformly.
 
 namespace {
 
 using namespace hp2p;
+
+std::uint64_t heap_allocs() { return alloc_stats::allocation_count(); }
 
 void BM_EventQueueScheduleRun(benchmark::State& state) {
   const auto n = static_cast<std::int64_t>(state.range(0));
@@ -164,6 +145,67 @@ void BM_TransportSteadyStateZeroAlloc(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TransportSteadyStateZeroAlloc);
+
+void BM_EventQueueProfiled(benchmark::State& state) {
+  // Same workload as BM_EventQueueScheduleRun but with the dispatch
+  // profiler attached: the delta against the unprofiled run is the
+  // enabled-path cost (two tick reads + two allocation-counter snapshots
+  // per event).  The ISSUE budget is <= 5% at the full-system event rate.
+  const auto n = static_cast<std::int64_t>(state.range(0));
+  stats::Profiler profiler;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim.set_dispatch_probe(&profiler);
+    std::uint64_t sink = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      sim.schedule_at(sim::SimTime::micros((i * 7919) % 100000),
+                      [&sink] { ++sink; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  benchmark::DoNotOptimize(profiler.dispatch_ns_total());
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueProfiled)->Arg(10000);
+
+void BM_EventQueueProfiledSteadyStateZeroAlloc(benchmark::State& state) {
+  // The profiler preallocates its frame stack and accumulator table, so
+  // steady-state dispatch must stay zero-alloc even with profiling ON --
+  // otherwise continuous profiling would itself distort the allocation
+  // attribution it reports.
+  sim::Simulator sim;
+  stats::Profiler profiler;
+  sim.set_dispatch_probe(&profiler);
+  std::uint64_t sink = 0;
+  constexpr std::int64_t kDepth = 1024;
+  std::int64_t t = 0;
+  for (; t < kDepth; ++t) {
+    sim.schedule_at(sim::SimTime::micros(t), [&sink] { ++sink; });
+  }
+  sim.run();
+  for (t = kDepth; t < 2 * kDepth; ++t) {
+    sim.schedule_at(sim::SimTime::micros(t), [&sink] { ++sink; });
+  }
+  for (int i = 0; i < 16; ++i) {
+    sim.schedule_at(sim::SimTime::micros(t++), [&sink] { ++sink; });
+    sim.step();
+  }
+  const std::uint64_t allocs_before = heap_allocs();
+  for (auto _ : state) {
+    sim.schedule_at(sim::SimTime::micros(t++), [&sink] { ++sink; });
+    sim.step();
+  }
+  const std::uint64_t allocs = heap_allocs() - allocs_before;
+  benchmark::DoNotOptimize(sink);
+  state.counters["heap_allocs"] =
+      benchmark::Counter(static_cast<double>(allocs));
+  if (allocs != 0) {
+    state.SkipWithError("profiled steady-state event dispatch heap-allocated");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueProfiledSteadyStateZeroAlloc);
 
 void BM_EventQueueTraced(benchmark::State& state) {
   // Same workload as BM_EventQueueScheduleRun but with a trace hook set:

@@ -88,6 +88,7 @@ void OverlayAuditor::ensure_running() {
 }
 
 void OverlayAuditor::tick() {
+  sim::ComponentScope prof{sim_, sim::Component::kAudit};
   armed_ = false;
   sim_.note_daemon_disarmed();
   run();

@@ -42,6 +42,7 @@ void FaultScheduleEngine::arm(std::function<HostIndex()> host_source) {
       const auto offset = sim::SimTime::micros(
           phase.duration.as_micros() * k / n);
       sim_.schedule_at(phase.start + offset, [this, i, crash] {
+        sim::ComponentScope prof{sim_, sim::Component::kChaos};
         const FaultPhase& p = schedule_.phases[i];
         if (crash) {
           apply_crash(p, i);

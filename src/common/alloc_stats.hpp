@@ -1,0 +1,50 @@
+// Process-wide heap-allocation counters.
+//
+// alloc_stats.cpp replaces the global operator new/delete with a counting
+// shim (one relaxed atomic increment per allocation).  Because the shim
+// lives in the same translation unit as the counter definitions, any
+// binary that reads a counter links the replacement operators in -- that
+// is the promotion contract micro_kernel and stats::Profiler rely on:
+// both read the same counters from a single definition instead of each
+// bench re-declaring its own hook.  Binaries that never reference
+// alloc_stats keep the default (uncounted) allocator.  The accessors are
+// inline relaxed loads: the profiler snapshots them on its per-event hot
+// path, where an out-of-line call would be a measurable share of the
+// <= 5% overhead budget.
+//
+// The counters are cumulative and monotone, which is exactly what delta-
+// based attribution needs: the profiler snapshots them around each
+// dispatch frame; micro_kernel asserts the steady-state delta is zero.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace hp2p::alloc_stats {
+
+namespace detail {
+/// Defined in alloc_stats.cpp -- the same translation unit as the operator
+/// new/delete replacements, so referencing them links the counting shim in.
+extern std::atomic<std::uint64_t> g_allocs;
+extern std::atomic<std::uint64_t> g_alloc_bytes;
+extern std::atomic<std::uint64_t> g_live_bytes;
+}  // namespace detail
+
+/// Number of operator-new calls since process start (thread-safe, relaxed).
+[[nodiscard]] inline std::uint64_t allocation_count() {
+  return detail::g_allocs.load(std::memory_order_relaxed);
+}
+
+/// Cumulative requested bytes across all operator-new calls.
+[[nodiscard]] inline std::uint64_t allocated_bytes() {
+  return detail::g_alloc_bytes.load(std::memory_order_relaxed);
+}
+
+/// Bytes currently outstanding (allocated minus freed, measured in
+/// allocator usable sizes when malloc_usable_size is available, requested
+/// sizes otherwise).  Suitable as a live-heap gauge.
+[[nodiscard]] inline std::uint64_t live_bytes() {
+  return detail::g_live_bytes.load(std::memory_order_relaxed);
+}
+
+}  // namespace hp2p::alloc_stats

@@ -7,7 +7,9 @@
 #include <set>
 
 #include "audit/overlay_auditor.hpp"
+#include "common/alloc_stats.hpp"
 #include "common/env.hpp"
+#include "common/proc_stats.hpp"
 #include "common/rng.hpp"
 #include "hybrid/hybrid_system.hpp"
 #include "net/transit_stub.hpp"
@@ -83,6 +85,10 @@ RunResult run_hybrid_experiment(const RunConfig& raw_config) {
   if (config.flight != nullptr) {
     attach_flight_recorder(*config.flight, sim, network);
   }
+  if (config.profiler != nullptr) {
+    sim.set_dispatch_probe(config.profiler);
+    network.set_profiler(config.profiler);
+  }
   std::optional<stats::TimeSeriesSampler> sampler;
   if (config.sample_period > sim::Duration{}) {
     sampler.emplace(sim, config.sample_period);
@@ -107,6 +113,26 @@ RunResult run_hybrid_experiment(const RunConfig& raw_config) {
     sampler->add_gauge("events_pending", [&sim] {
       return static_cast<double>(sim.pending_events());
     });
+    if (config.profiler != nullptr) {
+      // Occupancy gauges for profiled runs only: heap and RSS values are
+      // allocator/wall-clock dependent, and the repro tests compare
+      // profiler-off timeseries byte-for-byte across same-seed runs.
+      sampler->add_gauge("arena_slots", [&sim] {
+        return static_cast<double>(sim.arena_slots());
+      });
+      sampler->add_gauge("arena_live_slots", [&sim] {
+        return static_cast<double>(sim.arena_live_slots());
+      });
+      sampler->add_gauge("event_backlog", [&sim] {
+        return static_cast<double>(sim.queue_depth());
+      });
+      sampler->add_gauge("heap_live_bytes", [] {
+        return static_cast<double>(alloc_stats::live_bytes());
+      });
+      sampler->add_gauge("vm_rss_bytes", [] {
+        return static_cast<double>(current_rss_bytes());
+      });
+    }
   }
   // Invariant auditing: explicit period from the config, or a 1 s default
   // behind HP2P_AUDIT=1.  Periodic passes run lenient checks mid-churn; a
@@ -187,6 +213,10 @@ RunResult run_hybrid_experiment(const RunConfig& raw_config) {
         build_rng.index(config.hybrid.num_interests));
   }
   const auto schedule_join = [&](std::uint32_t i, std::int64_t slot) {
+    // Tag the driver's events as workload: the join itself re-tags to
+    // membership inside add_peer_with_interest, so only the experiment
+    // bookkeeping stays attributed here.
+    sim::ComponentScope prof{sim, sim::Component::kWorkload};
     sim.schedule_after(
         sim::SimTime::micros(slot * config.join_spacing.as_micros()),
         [&, i] {
@@ -239,6 +269,7 @@ RunResult run_hybrid_experiment(const RunConfig& raw_config) {
   std::vector<std::vector<DataId>> by_interest(config.hybrid.num_interests);
   const auto corpus = workload::uniform_corpus(config.num_items, config.seed);
   for (std::size_t i = 0; i < config.num_items; ++i) {
+    sim::ComponentScope prof{sim, sim::Component::kWorkload};
     sim.schedule_after(
         sim::SimTime::micros(static_cast<std::int64_t>(i) *
                              config.op_spacing.as_micros()),
@@ -295,6 +326,7 @@ RunResult run_hybrid_experiment(const RunConfig& raw_config) {
   }
   const sim::SimTime lookup_phase_start = sim.now();
   for (std::size_t i = 0; i < config.num_lookups; ++i) {
+    sim::ComponentScope prof{sim, sim::Component::kWorkload};
     sim.schedule_after(
         sim::SimTime::micros(static_cast<std::int64_t>(i) *
                              config.op_spacing.as_micros()),

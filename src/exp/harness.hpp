@@ -24,6 +24,7 @@
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
 #include "stats/flight_recorder.hpp"
+#include "stats/profiler.hpp"
 #include "stats/summary.hpp"
 #include "stats/timeseries.hpp"
 #include "stats/trace.hpp"
@@ -108,6 +109,16 @@ struct RunConfig {
   /// In debug builds (NDEBUG unset) phase-boundary audits always run.
   /// Violations land in RunResult::audit_violations and in `flight`.
   sim::Duration audit_period{};
+
+  /// Dispatch profiler wired into the kernel (component CPU/alloc
+  /// attribution), the transport (per-message-type time and bytes) and the
+  /// workload phases.  With `sample_period` set it also adds process-level
+  /// occupancy gauges (arena slots, event backlog, live heap bytes, VmRSS)
+  /// to the sampler -- those gauges are wall-clock-dependent, so they are
+  /// only present on profiled runs and never in the byte-identical repro
+  /// timeseries.  Export via Profiler::to_json()/write_collapsed() after
+  /// the run.  Not owned.
+  stats::Profiler* profiler = nullptr;
 };
 
 /// How long one harness phase took, in both host and simulated time.

@@ -3,17 +3,6 @@
 namespace hp2p::exp {
 namespace {
 
-const char* traffic_class_name(proto::TrafficClass c) {
-  switch (c) {
-    case proto::TrafficClass::kControl: return "control";
-    case proto::TrafficClass::kQuery: return "query";
-    case proto::TrafficClass::kData: return "data";
-    case proto::TrafficClass::kHeartbeat: return "heartbeat";
-    case proto::TrafficClass::kCount_: break;
-  }
-  return "unknown";
-}
-
 std::string joined(const std::string& prefix, const char* leaf) {
   return prefix.empty() ? leaf : prefix + "." + leaf;
 }
@@ -40,7 +29,7 @@ void collect_network_stats(stats::MetricsRegistry& reg,
   for (std::size_t i = 0; i < proto::kNumTrafficClasses; ++i) {
     const auto cls = static_cast<proto::TrafficClass>(i);
     const std::string base = joined(prefix, "class") + "." +
-                             traffic_class_name(cls);
+                             proto::traffic_class_name(cls);
     reg.set(base + ".messages", s.per_class_messages[i]);
     reg.set(base + ".bytes", s.per_class_bytes[i]);
   }

@@ -29,6 +29,7 @@ void HybridSystem::store(PeerIndex from, const std::string& key,
 
 void HybridSystem::store_id(PeerIndex from, DataId id, const std::string& key,
                             std::uint64_t value, StoreCallback done) {
+  sim::ComponentScope prof{sim_, sim::Component::kData};
   Peer& p = peer(from);
   proto::DataItem item{id, key, value, from};
 
@@ -148,6 +149,7 @@ void HybridSystem::route_ring(
     std::function<void(PeerIndex, std::uint32_t, std::uint32_t)> at_owner,
     std::function<bool(PeerIndex, std::uint32_t)> intercept,
     stats::TraceContext ctx) {
+  sim::ComponentScope prof{sim_, sim::Component::kRing};
   Peer& here = peer(at);
   if (!here.joined || here.role != Role::kTPeer) {
     // Mid-churn loss: the request reached a peer that left the ring.
@@ -177,6 +179,7 @@ void HybridSystem::ring_forward(
                                        std::uint32_t)>> at_owner,
     std::shared_ptr<std::function<bool(PeerIndex, std::uint32_t)>> intercept,
     stats::TraceContext ctx, unsigned attempt) {
+  sim::ComponentScope prof{sim_, sim::Component::kRing};
   Peer& here = peer(at);
   PeerIndex next = here.successor;
   if (params_.t_routing == TRouting::kFinger) {
@@ -375,6 +378,7 @@ void HybridSystem::rehome_foreign_items(PeerIndex at) {
 // --- Bypass links (Section 5.4) ----------------------------------------------------
 
 void HybridSystem::maybe_add_bypass(PeerIndex a, PeerIndex b) {
+  sim::ComponentScope prof{sim_, sim::Component::kBypass};
   if (a == kNoPeer || b == kNoPeer || a == b) return;
   Peer& pa = peer(a);
   Peer& pb = peer(b);
@@ -435,6 +439,7 @@ void HybridSystem::lookup(PeerIndex from, const std::string& key,
 }
 
 void HybridSystem::lookup_id(PeerIndex from, DataId id, LookupCallback done) {
+  sim::ComponentScope prof{sim_, sim::Component::kData};
   const std::uint64_t qid = next_query_id_++;
   Query q;
   q.origin = from;
@@ -607,6 +612,7 @@ void HybridSystem::search_snetwork(PeerIndex at, PeerIndex from,
 
 void HybridSystem::walk(PeerIndex at, std::uint64_t qid, unsigned ttl,
                         std::uint32_t hops) {
+  sim::ComponentScope prof{sim_, sim::Component::kFlood};
   if (flood_observer_) flood_observer_(at, ttl);
   if (ttl == 0) {
     net_.note_drop(at, proto::DropReason::kTtlExhausted, TrafficClass::kQuery,
@@ -635,6 +641,7 @@ void HybridSystem::walk(PeerIndex at, std::uint64_t qid, unsigned ttl,
 
 void HybridSystem::flood(PeerIndex at, PeerIndex from, std::uint64_t qid,
                          unsigned ttl, std::uint32_t hops) {
+  sim::ComponentScope prof{sim_, sim::Component::kFlood};
   if (flood_observer_) flood_observer_(at, ttl);
   if (ttl == 0) {
     net_.note_drop(at, proto::DropReason::kTtlExhausted, TrafficClass::kQuery,
@@ -776,6 +783,7 @@ void HybridSystem::lookup_keyword(PeerIndex from,
                                   const std::string& substring,
                                   sim::Duration collect_window,
                                   KeywordCallback done) {
+  sim::ComponentScope prof{sim_, sim::Component::kData};
   const std::uint64_t qid =
       start_keyword_query(from, substring, collect_window, std::move(done));
   keyword_flood(from, kNoPeer, qid, params_.ttl);
@@ -785,6 +793,7 @@ void HybridSystem::lookup_keyword_global(PeerIndex from,
                                          const std::string& substring,
                                          sim::Duration collect_window,
                                          KeywordCallback done) {
+  sim::ComponentScope prof{sim_, sim::Component::kData};
   const std::uint64_t qid =
       start_keyword_query(from, substring, collect_window, std::move(done));
   // Local flood and ring circulation proceed concurrently (Section 3.1).
@@ -806,6 +815,7 @@ void HybridSystem::lookup_keyword_global(PeerIndex from,
 
 void HybridSystem::keyword_ring_walk(PeerIndex at, PeerIndex stop_at,
                                      std::uint64_t qid) {
+  sim::ComponentScope prof{sim_, sim::Component::kRing};
   auto it = keyword_queries_.find(qid);
   if (it == keyword_queries_.end()) return;
   KeywordQuery& q = it->second;
@@ -842,6 +852,7 @@ void HybridSystem::keyword_ring_walk(PeerIndex at, PeerIndex stop_at,
 
 void HybridSystem::keyword_flood(PeerIndex at, PeerIndex from,
                                  std::uint64_t qid, unsigned ttl) {
+  sim::ComponentScope prof{sim_, sim::Component::kFlood};
   if (flood_observer_) flood_observer_(at, ttl);
   if (ttl == 0) return;
   for (PeerIndex n : snetwork_neighbors(peer(at))) {

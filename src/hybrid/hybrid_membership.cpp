@@ -245,6 +245,7 @@ PeerIndex HybridSystem::add_peer_with_role(HostIndex host, Role role,
 PeerIndex HybridSystem::add_peer_with_interest(HostIndex host, Role role,
                                                std::uint32_t interest,
                                                JoinCallback done) {
+  sim::ComponentScope prof{sim_, sim::Component::kMembership};
   const PeerIndex i = net_.add_peer(host);
   Peer p;
   p.self = i;
@@ -615,6 +616,7 @@ void HybridSystem::descend_sjoin(PeerIndex at, PeerIndex joiner,
 // --- Leave / crash ---------------------------------------------------------------
 
 void HybridSystem::leave(PeerIndex leaving) {
+  sim::ComponentScope prof{sim_, sim::Component::kMembership};
   Peer& p = peer(leaving);
   if (!p.joined || p.is_server) return;
   if (p.role == Role::kTPeer) {
@@ -812,7 +814,10 @@ void HybridSystem::promote_speer(PeerIndex heir, PeerIndex old_t,
   h.cp = kNoPeer;
 
   // Role transfer: pid, ring pointers, finger table (Section 3.2.1).
+  // The heir changes role without a joined flip, so the role census must
+  // be invalidated here explicitly.
   h.role = Role::kTPeer;
+  membership_changed();
   h.pid = o.pid;
   h.tpeer = heir;
   if (with_data || o.joined) {
@@ -1050,6 +1055,7 @@ void HybridSystem::broadcast_substitution(PeerIndex old_t, PeerIndex new_t) {
 }
 
 void HybridSystem::crash(PeerIndex crashing) {
+  sim::ComponentScope prof{sim_, sim::Component::kMembership};
   Peer& p = peer(crashing);
   if (p.is_server) return;
   p.joined = false;
@@ -1062,6 +1068,7 @@ void HybridSystem::crash(PeerIndex crashing) {
 
 void HybridSystem::server_handle_compete(PeerIndex orphan,
                                          PeerIndex dead_tpeer) {
+  sim::ComponentScope prof{sim_, sim::Component::kMembership};
   if (dead_tpeer == kNoPeer) return;
   if (!net_.alive(orphan) || !peer(orphan).joined) return;
   if (net_.alive(dead_tpeer) && peer(dead_tpeer).joined) {
@@ -1213,6 +1220,7 @@ void HybridSystem::heartbeat_tick(PeerIndex p_idx) {
 }
 
 void HybridSystem::heartbeat_step(PeerIndex p_idx) {
+  sim::ComponentScope prof{sim_, sim::Component::kMembership};
   Peer& p = peer(p_idx);
   if (!net_.alive(p_idx)) {
     p.heartbeat_running = false;
@@ -1272,6 +1280,7 @@ void HybridSystem::heartbeat_step(PeerIndex p_idx) {
 }
 
 void HybridSystem::note_heard(PeerIndex at, PeerIndex from) {
+  sim::ComponentScope prof{sim_, sim::Component::kMembership};
   Peer& p = peer(at);
   p.last_heard[from.value()] = sim_.now();
   if (!failure_detection_ || at == from) return;
@@ -1354,6 +1363,7 @@ void HybridSystem::maybe_ack(PeerIndex at, PeerIndex to) {
 }
 
 void HybridSystem::on_neighbor_dead(PeerIndex at, PeerIndex dead) {
+  sim::ComponentScope prof{sim_, sim::Component::kMembership};
   Peer& p = peer(at);
   p.last_heard.erase(dead.value());
   p.last_sent.erase(dead.value());
@@ -1412,20 +1422,28 @@ void HybridSystem::on_neighbor_dead(PeerIndex at, PeerIndex dead) {
 
 // --- Introspection ------------------------------------------------------------------
 
-std::size_t HybridSystem::num_tpeers() const {
-  std::size_t n = 0;
+void HybridSystem::refresh_role_counts() const {
+  if (!role_counts_dirty_) return;
+  std::size_t t = 0;
+  std::size_t s = 0;
   for (const Peer& p : peers_) {
-    n += (!p.is_server && p.joined && p.role == Role::kTPeer);
+    if (p.is_server || !p.joined) continue;
+    t += (p.role == Role::kTPeer);
+    s += (p.role == Role::kSPeer);
   }
-  return n;
+  tpeer_count_ = t;
+  speer_count_ = s;
+  role_counts_dirty_ = false;
+}
+
+std::size_t HybridSystem::num_tpeers() const {
+  refresh_role_counts();
+  return tpeer_count_;
 }
 
 std::size_t HybridSystem::num_speers() const {
-  std::size_t n = 0;
-  for (const Peer& p : peers_) {
-    n += (!p.is_server && p.joined && p.role == Role::kSPeer);
-  }
-  return n;
+  refresh_role_counts();
+  return speer_count_;
 }
 
 std::pair<PeerId, PeerId> HybridSystem::segment_of(PeerIndex t) const {
@@ -1547,6 +1565,7 @@ std::size_t HybridSystem::num_bypass_links() const {
 }
 
 void HybridSystem::refresh_all_fingers() {
+  sim::ComponentScope prof{sim_, sim::Component::kRing};
   for (const auto& [pid, t] : registry_) {
     Peer& p = peer(t);
     if (!p.joined) continue;

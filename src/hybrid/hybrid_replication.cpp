@@ -70,6 +70,7 @@ void HybridSystem::store_or_merge(Peer& p, proto::DataItem item) {
 
 void HybridSystem::replicate_item(PeerIndex at, const proto::DataItem& item) {
   if (!replication_active() || item.replica) return;
+  sim::ComponentScope prof{sim_, sim::Component::kReplication};
   const PeerIndex owner = registry_owner(item.id.value());
   if (owner == kNoPeer) return;
   for (const PeerIndex m : replica_set(item.id)) {
@@ -89,6 +90,7 @@ void HybridSystem::replicate_item(PeerIndex at, const proto::DataItem& item) {
 void HybridSystem::maybe_read_repair(PeerIndex at,
                                      const proto::DataItem& item) {
   if (!replication_active() || !item.replica) return;
+  sim::ComponentScope prof{sim_, sim::Component::kReplication};
   const PeerIndex owner = registry_owner(item.id.value());
   if (owner == kNoPeer || owner == at) return;
   if (!net_.alive(owner) || !peer(owner).joined) return;
@@ -103,6 +105,7 @@ void HybridSystem::maybe_read_repair(PeerIndex at,
 
 void HybridSystem::trigger_re_replication(PeerIndex at) {
   if (!replication_active() || !params_.re_replicate_on_churn) return;
+  sim::ComponentScope prof{sim_, sim::Component::kReplication};
   const Peer& p = peer(at);
   const PeerIndex root = p.role == Role::kTPeer ? at : p.tpeer;
   if (root == kNoPeer) return;
@@ -114,6 +117,7 @@ void HybridSystem::trigger_re_replication(PeerIndex at) {
 
 void HybridSystem::replication_sweep(PeerIndex root) {
   if (!replication_active()) return;
+  sim::ComponentScope prof{sim_, sim::Component::kReplication};
   Peer& t = peer(root);
   if (!net_.alive(root) || !t.joined || t.role != Role::kTPeer) return;
   auto digest = std::make_shared<const std::vector<DataId>>(
@@ -141,6 +145,7 @@ void HybridSystem::replication_sweep(PeerIndex root) {
 void HybridSystem::sweep_at_member(
     PeerIndex member, PeerIndex root,
     std::shared_ptr<const std::vector<DataId>> digest) {
+  sim::ComponentScope prof{sim_, sim::Component::kReplication};
   Peer& m = peer(member);
   Peer& t = peer(root);
   if (!m.joined || !net_.alive(root) || !t.joined ||

@@ -576,11 +576,20 @@ class HybridSystem {
   HybridParams params_;
   Rng& rng_;
 
-  /// Drops the live_peers() cache.  MUST be called after any change to a
-  /// peer's `joined` flag -- every such mutation site in
-  /// hybrid_membership.cpp pairs with a call to this.  Transport liveness
-  /// changes are tracked separately via OverlayNetwork::liveness_epoch().
-  void membership_changed() const { live_peers_dirty_ = true; }
+  /// Drops the live_peers() and role-census caches.  MUST be called after
+  /// any change to a peer's `joined` flag or (post-join) role -- every such
+  /// mutation site in hybrid_membership.cpp pairs with a call to this.
+  /// Transport liveness changes are tracked separately via
+  /// OverlayNetwork::liveness_epoch().
+  void membership_changed() const {
+    live_peers_dirty_ = true;
+    role_counts_dirty_ = true;
+  }
+  /// Rebuilds the memoized t/s-peer census when dirty.  num_tpeers() and
+  /// num_speers() feed the per-sim-second sampler gauges; an O(peers) scan
+  /// of the fat Peer structs on every tick was the hottest non-event cost
+  /// the dispatch profiler found at 20k peers.
+  void refresh_role_counts() const;
 
   PeerIndex server_ = kNoPeer;  // the well-known server's transport endpoint
   std::vector<Peer> peers_;
@@ -589,6 +598,10 @@ class HybridSystem {
   mutable std::vector<PeerIndex> live_peers_cache_;
   mutable bool live_peers_dirty_ = true;
   mutable std::uint64_t live_peers_net_epoch_ = 0;
+  /// Memoized joined-peer census by role, rebuilt via refresh_role_counts().
+  mutable std::size_t tpeer_count_ = 0;
+  mutable std::size_t speer_count_ = 0;
+  mutable bool role_counts_dirty_ = true;
   /// Server-side ring registry: pid -> t-peer (ordered for owner queries).
   std::map<std::uint64_t, PeerIndex> registry_;
   /// Server-side round-robin cursors: interest/cluster -> t-peer list slot.

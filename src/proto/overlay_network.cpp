@@ -2,7 +2,20 @@
 
 #include <utility>
 
+#include "stats/profiler.hpp"
+
 namespace hp2p::proto {
+
+const char* traffic_class_name(TrafficClass cls) {
+  switch (cls) {
+    case TrafficClass::kControl: return "control";
+    case TrafficClass::kQuery: return "query";
+    case TrafficClass::kData: return "data";
+    case TrafficClass::kHeartbeat: return "heartbeat";
+    case TrafficClass::kCount_: break;
+  }
+  return "unknown";
+}
 
 const char* drop_reason_name(DropReason reason) {
   switch (reason) {
@@ -116,6 +129,10 @@ void OverlayNetwork::send(PeerIndex from, PeerIndex to, TrafficClass cls,
         }
         ++stats_.messages_delivered;
         ++received_by_[to.value()];
+        if (profiler_ != nullptr) {
+          profiler_->message_delivered(static_cast<std::size_t>(cls),
+                                       traffic_class_name(cls), bytes);
+        }
         if (trace_) trace_({Kind::kDeliver, from, to, cls, bytes});
         if (spans_ != nullptr && msg_span.valid()) {
           spans_->end_span(msg_span, simulator_.now());

@@ -22,6 +22,10 @@
 #include "sim/simulator.hpp"
 #include "stats/trace.hpp"
 
+namespace hp2p::stats {
+class Profiler;
+}  // namespace hp2p::stats
+
 namespace hp2p::proto {
 
 /// Traffic classes, for per-category accounting in the benches.
@@ -35,6 +39,9 @@ enum class TrafficClass : std::uint8_t {
 
 inline constexpr std::size_t kNumTrafficClasses =
     static_cast<std::size_t>(TrafficClass::kCount_);
+
+/// Stable snake_case name for metric keys and profile attribution.
+[[nodiscard]] const char* traffic_class_name(TrafficClass cls);
 
 /// Nominal wire sizes (bytes) per message family.  Only ratios matter: they
 /// feed the transmission-delay term and the bandwidth accounting.
@@ -229,6 +236,12 @@ class OverlayNetwork {
   void set_span_recorder(stats::SpanRecorder* recorder) { spans_ = recorder; }
   [[nodiscard]] stats::SpanRecorder* span_recorder() const { return spans_; }
 
+  /// Installs (or, with nullptr, removes) the dispatch profiler that
+  /// per-message-type delivery time and bytes are attributed to.  Not
+  /// owned.  One predicted branch per delivery when unset.
+  void set_profiler(stats::Profiler* profiler) { profiler_ = profiler; }
+  [[nodiscard]] stats::Profiler* profiler() const { return profiler_; }
+
   using FaultFn = std::function<FaultAction(PeerIndex from, PeerIndex to,
                                             TrafficClass cls,
                                             std::uint32_t bytes)>;
@@ -254,6 +267,7 @@ class OverlayNetwork {
   TraceFn trace_;
   FaultFn fault_;
   stats::SpanRecorder* spans_ = nullptr;
+  stats::Profiler* profiler_ = nullptr;
 };
 
 }  // namespace hp2p::proto

@@ -4,6 +4,26 @@
 
 namespace hp2p::sim {
 
+const char* component_name(Component c) {
+  switch (c) {
+    case Component::kKernel: return "kernel";
+    case Component::kTransport: return "transport";
+    case Component::kMembership: return "membership";
+    case Component::kRing: return "ring";
+    case Component::kFlood: return "flood";
+    case Component::kBypass: return "bypass";
+    case Component::kData: return "data";
+    case Component::kReplication: return "replication";
+    case Component::kChaos: return "chaos";
+    case Component::kAudit: return "audit";
+    case Component::kWorkload: return "workload";
+    case Component::kSampler: return "sampler";
+    case Component::kOther: return "other";
+    case Component::kCount_: break;
+  }
+  return "invalid";
+}
+
 TimerId Simulator::schedule_at(SimTime when, Action action) {
   if (when < now_) when = now_;  // never schedule into the past
   const std::uint64_t seq = next_seq_++;
@@ -18,6 +38,7 @@ TimerId Simulator::schedule_at(SimTime when, Action action) {
   Slot& s = slots_[slot];
   s.when = when;
   s.seq = seq;
+  s.comp = current_component_;
   s.action = std::move(action);
   heap_.push(HeapItem{when, seq, slot});
   ++live_events_;
@@ -54,7 +75,7 @@ const Simulator::HeapItem* Simulator::peek_live() {
   return heap_.empty() ? nullptr : &heap_.top();
 }
 
-bool Simulator::pop_live(HeapItem& out, Action& action) {
+bool Simulator::pop_live(HeapItem& out, Action& action, Component& comp) {
   while (!heap_.empty()) {
     const HeapItem top = heap_.top();
     if (!slot_live(top)) {
@@ -64,6 +85,7 @@ bool Simulator::pop_live(HeapItem& out, Action& action) {
     }
     heap_.pop();
     out = top;
+    comp = slots_[top.slot].comp;
     action = std::move(slots_[top.slot].action);
     free_slot(top.slot);
     return true;
@@ -74,20 +96,34 @@ bool Simulator::pop_live(HeapItem& out, Action& action) {
 bool Simulator::step() {
   HeapItem item{};
   Action action;
-  if (!pop_live(item, action)) return false;
+  Component comp = Component::kKernel;
+  if (!pop_live(item, action, comp)) return false;
   now_ = item.when;
   ++stats_.events_executed;
   if (trace_) trace_(TraceEvent{TraceEvent::Kind::kFire, item.seq, item.when});
-  action();
+  // The dispatched action inherits the event's tag, so anything it schedules
+  // is attributed to the component that set it in motion.  The probe frame
+  // brackets exactly the action's execution.
+  current_component_ = comp;
+  if (probe_ != nullptr) {
+    probe_->enter(comp);
+    action();
+    probe_->leave();
+  } else {
+    action();
+  }
+  current_component_ = Component::kKernel;
   return true;
 }
 
 void Simulator::run() {
+  if (probe_ != nullptr) probe_->resync();
   while (step()) {
   }
 }
 
 void Simulator::run_until(SimTime deadline) {
+  if (probe_ != nullptr) probe_->resync();
   for (const HeapItem* next = peek_live();
        next != nullptr && next->when <= deadline; next = peek_live()) {
     step();

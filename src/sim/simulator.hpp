@@ -43,6 +43,51 @@ class TimerId {
   std::uint32_t slot_{0};  // arena slot the event occupies (O(1) cancel)
 };
 
+/// Coarse component tags for CPU and allocation attribution.  Every
+/// scheduled event carries the tag that was current when it was scheduled,
+/// so work a subsystem sets in motion (timers, message deliveries) is
+/// attributed to that subsystem without per-call-site bookkeeping.
+/// ComponentScope switches the current tag; the installed DispatchProbe
+/// (stats::Profiler) observes the enter/leave transitions.
+enum class Component : std::uint8_t {
+  kKernel = 0,   // dispatch loop itself / untagged work
+  kTransport,    // overlay message physics (delivery closures)
+  kMembership,   // joins, leaves, crashes, HELLO failure detection
+  kRing,         // t-network ring routing + finger maintenance
+  kFlood,        // s-network flooding / random walks
+  kBypass,       // bypass-link cache maintenance
+  kData,         // store / lookup request handling
+  kReplication,  // replica placement, re-replication, anti-entropy
+  kChaos,        // fault-schedule engine
+  kAudit,        // invariant auditor
+  kWorkload,     // experiment driver (phase orchestration)
+  kSampler,      // time-series gauge sampling (RSS reads are not free)
+  kOther,        // explicitly untyped
+  kCount_,       // sentinel
+};
+
+inline constexpr std::size_t kNumComponents =
+    static_cast<std::size_t>(Component::kCount_);
+
+/// Stable snake_case name for metric keys and collapsed-stack frames.
+[[nodiscard]] const char* component_name(Component c);
+
+/// Observer of dispatch transitions.  The kernel stays free of timing and
+/// accumulation logic -- it only reports "a frame tagged `c` began / the
+/// innermost frame ended" -- so the stats layer can implement profiling
+/// without a sim -> stats dependency.
+class DispatchProbe {
+ public:
+  virtual ~DispatchProbe() = default;
+  virtual void enter(Component c) = 0;
+  virtual void leave() = 0;
+  /// The host is about to (re)enter a dispatch run after doing unrelated
+  /// work (called on probe installation and at run()/run_until() entry).
+  /// Lets a timing probe re-mark its clock baseline so host work between
+  /// dispatch runs is never charged to the next event.
+  virtual void resync() {}
+};
+
 /// Counters the kernel maintains; exposed for tests and microbenchmarks.
 struct SimulatorStats {
   std::uint64_t events_scheduled = 0;
@@ -130,6 +175,44 @@ class Simulator {
   /// branch per operation; see BM_EventQueueScheduleRun in micro_kernel.
   void set_trace(TraceFn fn) { trace_ = std::move(fn); }
 
+  /// Installs (or, with nullptr, removes) the dispatch probe.  Not owned.
+  /// When unset the dispatch path costs one predicted branch per event
+  /// (asserted by micro_kernel's zero-alloc benches staying flat).
+  void set_dispatch_probe(DispatchProbe* probe) {
+    probe_ = probe;
+    if (probe_ != nullptr) probe_->resync();
+  }
+  [[nodiscard]] DispatchProbe* dispatch_probe() const { return probe_; }
+
+  /// Tag stamped on events scheduled right now: the dispatching event's tag
+  /// during dispatch, or the innermost ComponentScope's.
+  [[nodiscard]] Component current_component() const {
+    return current_component_;
+  }
+
+  /// Switches the current tag and opens a probe frame; returns the previous
+  /// tag for end_component().  Use ComponentScope instead of calling these
+  /// directly.
+  Component begin_component(Component c) {
+    const Component prev = current_component_;
+    current_component_ = c;
+    if (probe_ != nullptr) probe_->enter(c);
+    return prev;
+  }
+  void end_component(Component prev) {
+    current_component_ = prev;
+    if (probe_ != nullptr) probe_->leave();
+  }
+
+  /// Arena occupancy, for the profiler's gauges: total slots ever grown to
+  /// (the high-water mark of concurrently live events), currently live
+  /// slots, and raw heap entries (live events + lazy-cancel corpses).
+  [[nodiscard]] std::size_t arena_slots() const { return slots_.size(); }
+  [[nodiscard]] std::size_t arena_live_slots() const {
+    return slots_.size() - free_slots_.size();
+  }
+  [[nodiscard]] std::size_t queue_depth() const { return heap_.size(); }
+
  private:
   struct HeapItem {
     SimTime when;
@@ -141,6 +224,7 @@ class Simulator {
   struct Slot {
     SimTime when{};  // kept so cancel() can report the fire time in traces
     std::uint64_t seq = 0;
+    Component comp = Component::kKernel;  // tag current at schedule time
     Action action;
   };
   struct Later {
@@ -163,7 +247,7 @@ class Simulator {
 
   /// Pops heap items until one whose slot is still live surfaces.
   /// Returns false when nothing live remains.
-  bool pop_live(HeapItem& out, Action& action);
+  bool pop_live(HeapItem& out, Action& action, Component& comp);
 
   SimTime now_{};
   std::uint64_t next_seq_ = 1;
@@ -174,6 +258,24 @@ class Simulator {
   std::vector<std::uint32_t> free_slots_; // recycled slot indices
   SimulatorStats stats_;
   TraceFn trace_;
+  Component current_component_ = Component::kKernel;
+  DispatchProbe* probe_ = nullptr;
+};
+
+/// RAII component-tag switch: statements inside the scope -- and every event
+/// they schedule -- are attributed to `c`.  Nesting restores the previous
+/// tag on exit; the probe sees a matching enter/leave pair.
+class ComponentScope {
+ public:
+  ComponentScope(Simulator& sim, Component c)
+      : sim_(sim), prev_(sim.begin_component(c)) {}
+  ~ComponentScope() { sim_.end_component(prev_); }
+  ComponentScope(const ComponentScope&) = delete;
+  ComponentScope& operator=(const ComponentScope&) = delete;
+
+ private:
+  Simulator& sim_;
+  Component prev_;
 };
 
 }  // namespace hp2p::sim

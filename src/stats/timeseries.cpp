@@ -58,6 +58,10 @@ void TimeSeriesSampler::ensure_running() {
   if (armed_) return;
   armed_ = true;
   sim_.note_daemon_armed();
+  // The tick carries its own component tag: gauge sampling (RSS reads in
+  // particular) has real cost, and the profiler should show it by name
+  // instead of folding it into the kernel bucket.
+  sim::ComponentScope scope{sim_, sim::Component::kSampler};
   tick_id_ = sim_.schedule_after(period_, [this] { tick(); });
 }
 

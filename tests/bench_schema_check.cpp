@@ -1,10 +1,19 @@
-// Standalone validator for the observability artifacts a traced bench run
-// leaves behind: the BENCH_*.json report (schema v3, with at least one
-// sampled time-series block and the critical-path metrics) and the
-// TRACE_*.json catapult file (Perfetto-loadable: balanced async begin/end
-// pairs, metadata record, microsecond timestamps).  Used by the
-// bench_trace_validate ctest entry, which runs after the bench_trace_smoke
-// fixture produced both files.
+// Standalone validator for the observability artifacts an instrumented
+// bench run leaves behind.  Two modes:
+//
+//   bench_schema_check <BENCH_*.json> <TRACE_*.json>
+//     Traced run: schema-v4 report with at least one sampled time-series
+//     block and the critical-path metrics, plus the TRACE_*.json catapult
+//     file (Perfetto-loadable: balanced async begin/end pairs, metadata
+//     record).  Used by the bench_trace_validate ctest entry.
+//
+//   bench_schema_check --profile <BENCH_*.json> <PROFILE_*.collapsed>
+//     Profiled run (HP2P_PROFILE=1): schema-v4 report with the `profile`
+//     section (non-empty component attribution, attributed_ns <=
+//     dispatch_ns_total > 0) plus the collapsed-stack file in the exact
+//     format flamegraph.pl / speedscope consume ("frame(;frame)* <int>").
+//     Used by the profile_validate ctest entry.
+#include <cctype>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -29,18 +38,48 @@ std::optional<JsonValue> load(const std::string& path) {
   return JsonValue::parse(buf.str());
 }
 
-int check_bench(const std::string& path) {
-  const auto root = load(path);
-  if (!root) return fail("cannot read or parse " + path);
+/// Shared v1..v4 envelope checks; returns the parsed report on success.
+std::optional<JsonValue> check_envelope(const std::string& path) {
+  auto root = load(path);
+  if (!root) {
+    fail("cannot read or parse " + path);
+    return std::nullopt;
+  }
   const auto* version = root->find_path("schema_version");
-  if (version == nullptr || version->as_int() != 3) {
-    return fail(path + ": schema_version must be 3");
+  if (version == nullptr || version->as_int() != 4) {
+    fail(path + ": schema_version must be 4");
+    return std::nullopt;
   }
   for (const char* field : {"bench", "seed", "config", "metrics", "tables"}) {
     if (root->find_path(field) == nullptr) {
-      return fail(path + ": missing v1 field '" + field + "'");
+      fail(path + ": missing v1 field '" + field + "'");
+      return std::nullopt;
     }
   }
+  // v4: provenance object, always present.
+  const auto* wall = root->find_path("run_info.wall_unix_s");
+  if (wall == nullptr || wall->as_int() <= 0) {
+    fail(path + ": run_info.wall_unix_s missing or zero");
+    return std::nullopt;
+  }
+  const auto* describe = root->find_path("run_info.git_describe");
+  if (describe == nullptr || !describe->is_string() ||
+      describe->as_string().empty()) {
+    fail(path + ": run_info.git_describe missing or empty");
+    return std::nullopt;
+  }
+  for (const char* field : {"run_info.host_threads", "run_info.peers"}) {
+    if (root->find_path(field) == nullptr) {
+      fail(path + ": missing v4 field '" + std::string(field) + "'");
+      return std::nullopt;
+    }
+  }
+  return root;
+}
+
+int check_bench(const std::string& path) {
+  const auto root = check_envelope(path);
+  if (!root) return 1;
   const auto* timeseries = root->find_path("timeseries");
   if (timeseries == nullptr || !timeseries->is_array()) {
     return fail(path + ": missing v2 'timeseries' array");
@@ -82,6 +121,96 @@ int check_bench(const std::string& path) {
       return fail(path + ": missing v3 field '" + std::string(field) + "'");
     }
   }
+  return 0;
+}
+
+int check_profile(const std::string& path) {
+  const auto root = check_envelope(path);
+  if (!root) return 1;
+  const auto* profile = root->find_path("profile");
+  if (profile == nullptr || !profile->is_object()) {
+    return fail(path + ": missing v4 'profile' section");
+  }
+  const auto* enabled = profile->find("enabled");
+  if (enabled == nullptr || !enabled->as_bool()) {
+    return fail(path + ": profile.enabled must be true");
+  }
+  for (const char* field : {"clock", "ns_per_tick", "truncated_frames"}) {
+    if (profile->find(field) == nullptr) {
+      return fail(path + ": missing profile field '" + field + "'");
+    }
+  }
+  const auto* dispatch = profile->find("dispatch_ns_total");
+  const auto* attributed = profile->find("attributed_ns");
+  if (dispatch == nullptr || dispatch->as_int() <= 0) {
+    return fail(path + ": profile.dispatch_ns_total missing or zero");
+  }
+  if (attributed == nullptr ||
+      attributed->as_int() > dispatch->as_int()) {
+    return fail(path + ": profile.attributed_ns missing or exceeds "
+                       "dispatch_ns_total");
+  }
+  const auto* components = profile->find("components");
+  if (components == nullptr || !components->is_object() ||
+      components->members().empty()) {
+    return fail(path + ": profile.components empty");
+  }
+  for (const auto& [name, totals] : components->members()) {
+    for (const char* field : {"events", "cpu_ns", "allocs", "alloc_bytes"}) {
+      if (totals.find(field) == nullptr) {
+        return fail(path + ": component '" + name + "' missing '" + field +
+                    "'");
+      }
+    }
+  }
+  const auto* messages = profile->find("message_types");
+  if (messages == nullptr || !messages->is_object()) {
+    return fail(path + ": profile.message_types missing");
+  }
+  return 0;
+}
+
+/// One collapsed-stack line: `frame(;frame)* <uint>` -- the exact grammar
+/// flamegraph.pl and speedscope parse.
+bool valid_collapsed_line(const std::string& line) {
+  const auto space = line.rfind(' ');
+  if (space == std::string::npos || space == 0 ||
+      space + 1 >= line.size()) {
+    return false;
+  }
+  for (std::size_t i = space + 1; i < line.size(); ++i) {
+    if (std::isdigit(static_cast<unsigned char>(line[i])) == 0) return false;
+  }
+  const std::string stack = line.substr(0, space);
+  if (stack.front() == ';' || stack.back() == ';') return false;
+  bool prev_semi = false;
+  for (const char c : stack) {
+    if (c == ';') {
+      if (prev_semi) return false;
+      prev_semi = true;
+    } else if (std::isalnum(static_cast<unsigned char>(c)) == 0 &&
+               c != '_' && c != '-') {
+      return false;
+    } else {
+      prev_semi = false;
+    }
+  }
+  return true;
+}
+
+int check_collapsed(const std::string& path) {
+  std::ifstream in{path};
+  if (!in.good()) return fail("cannot read " + path);
+  std::size_t lines = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (!valid_collapsed_line(line)) {
+      return fail(path + ": malformed collapsed-stack line: " + line);
+    }
+    ++lines;
+  }
+  if (lines == 0) return fail(path + ": no stacks recorded");
   return 0;
 }
 
@@ -131,8 +260,16 @@ int check_catapult(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc == 4 && std::string{argv[1]} == "--profile") {
+    if (const int rc = check_profile(argv[2]); rc != 0) return rc;
+    if (const int rc = check_collapsed(argv[3]); rc != 0) return rc;
+    std::printf("bench_schema_check: %s and %s OK\n", argv[2], argv[3]);
+    return 0;
+  }
   if (argc != 3) {
-    return fail("usage: bench_schema_check <BENCH_*.json> <TRACE_*.json>");
+    return fail("usage: bench_schema_check <BENCH_*.json> <TRACE_*.json>\n"
+                "       bench_schema_check --profile <BENCH_*.json> "
+                "<PROFILE_*.collapsed>");
   }
   if (const int rc = check_bench(argv[1]); rc != 0) return rc;
   if (const int rc = check_catapult(argv[2]); rc != 0) return rc;

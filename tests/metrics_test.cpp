@@ -203,8 +203,14 @@ TEST(Reporter, JsonMatchesSchema) {
   ASSERT_TRUE(root.is_object());
   EXPECT_EQ(root.find_path("schema_version")->as_int(),
             bench::Reporter::kSchemaVersion);
-  EXPECT_EQ(bench::Reporter::kSchemaVersion, 3);
+  EXPECT_EQ(bench::Reporter::kSchemaVersion, 4);
   EXPECT_EQ(root.find_path("bench")->as_string(), "selftest");
+
+  // v4: run provenance is always present.
+  EXPECT_GT(root.find_path("run_info.wall_unix_s")->as_int(), 0);
+  EXPECT_FALSE(root.find_path("run_info.git_describe")->as_string().empty());
+  ASSERT_NE(root.find_path("run_info.host_threads"), nullptr);
+  EXPECT_EQ(root.find_path("run_info.peers")->as_int(), 10);
   EXPECT_EQ(root.find_path("seed")->as_int(), 7);
   EXPECT_EQ(root.find_path("config.peers")->as_int(), 10);
   EXPECT_EQ(root.find_path("config.lookups")->as_int(), 30);

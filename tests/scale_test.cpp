@@ -11,10 +11,16 @@
 //    accounting at paper scale trips this test.  If a change is intentional,
 //    re-pin the constant from the failure message -- that is an explicit
 //    statement that the paper benches moved.
+// 3. The continuous profiler earns its keep at N=20,000 (bench_scale's top
+//    default rung): >= 90% of measured dispatch time must be attributed to
+//    named components, and attaching the profiler must cost <= 5% in
+//    events/sec (min-of-2 wall times on both arms to damp scheduler noise).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/proc_stats.hpp"
 #include "common/rng.hpp"
@@ -95,6 +101,87 @@ TEST(Scale, UnderlayMemoryStaysLinearAtFiftyThousandHosts) {
   // any O(V^2) structure bursts immediately.
   EXPECT_LT(underlay.routing_memory_bytes(),
             std::size_t{underlay.num_hosts()} * 200);
+}
+
+/// bench_scale's rung_config at its top default rung (20k peers, ~1%
+/// t-peers, finger routing, t-peers-first build).
+RunConfig profiled_rung_config() {
+  RunConfig cfg;
+  cfg.seed = 42;
+  cfg.num_peers = 20'000;
+  cfg.num_items = 1000;
+  cfg.num_lookups = 1000;
+  cfg.hybrid.ps = 0.99;
+  cfg.hybrid.ttl = 8;
+  cfg.hybrid.t_routing = hybrid::TRouting::kFinger;
+  cfg.tpeers_first = true;
+  return cfg;
+}
+
+double total_wall_ms(const RunResult& r) {
+  double wall = 0;
+  for (const auto& phase : r.phases) wall += phase.wall_ms;
+  return wall;
+}
+
+TEST(Scale, ProfilerAttributesDispatchTimeAtTwentyThousandPeers) {
+  auto cfg = profiled_rung_config();
+  stats::Profiler prof;
+  cfg.profiler = &prof;
+  const RunResult r = run_hybrid_experiment(cfg);
+  ASSERT_EQ(r.joins_completed, 20'000u);
+
+  ASSERT_GT(prof.dispatch_ns_total(), 0u);
+  const double fraction = static_cast<double>(prof.attributed_ns()) /
+                          static_cast<double>(prof.dispatch_ns_total());
+  EXPECT_GE(fraction, 0.90)
+      << "only " << fraction * 100 << "% of dispatch time reached a named "
+      << "component; a new event source is being scheduled outside any "
+      << "ComponentScope";
+  EXPECT_LE(prof.attributed_ns(), prof.dispatch_ns_total());
+
+  // The workload regime implies which components must have fired.
+  for (const sim::Component c :
+       {sim::Component::kMembership, sim::Component::kRing,
+        sim::Component::kData, sim::Component::kWorkload}) {
+    EXPECT_GT(prof.component_total(c).enters, 0u)
+        << "component " << sim::component_name(c) << " never entered";
+  }
+  EXPECT_EQ(prof.truncated_frames(), 0u);
+}
+
+TEST(Scale, ProfilerOverheadStaysUnderFivePercent) {
+  const auto cfg = profiled_rung_config();
+  // events_executed is identical on both arms (the profiler schedules
+  // nothing), so events/sec overhead reduces to the wall-time ratio.
+  // Shared-host wall-time noise here dwarfs the real overhead, so each
+  // back-to-back (plain, profiled) pair yields one ratio -- adjacent runs
+  // see the same machine conditions, cancelling drift -- and the median
+  // over the pairs rejects the occasional run a noise spike lands on.
+  std::vector<double> ratios;
+  std::uint64_t events = 0;
+  std::uint64_t profiled_events = 0;
+  for (int i = 0; i < 5; ++i) {
+    const RunResult plain = run_hybrid_experiment(cfg);
+    events = plain.sim_stats.events_executed;
+
+    auto pcfg = cfg;
+    stats::Profiler prof;
+    pcfg.profiler = &prof;
+    const RunResult profiled = run_hybrid_experiment(pcfg);
+    profiled_events = profiled.sim_stats.events_executed;
+
+    ASSERT_GT(total_wall_ms(plain), 0.0);
+    ratios.push_back(total_wall_ms(profiled) / total_wall_ms(plain));
+  }
+  EXPECT_EQ(events, profiled_events)
+      << "profiling must not change the event stream";
+  std::sort(ratios.begin(), ratios.end());
+  const double overhead = ratios[ratios.size() / 2] - 1.0;
+  EXPECT_LE(overhead, 0.05)
+      << "median profiled/plain wall ratio " << ratios[ratios.size() / 2]
+      << " (" << overhead * 100 << "% overhead; ratios " << ratios.front()
+      << " .. " << ratios.back() << ")";
 }
 
 TEST(Scale, PaperScaleDigestIsPinned) {

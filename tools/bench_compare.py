@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Threshold-gated diff of two BENCH_*.json reports.
+
+Compares the numeric leaves under `metrics` (flattened to dotted keys) of a
+baseline report against a candidate report and fails when a performance
+metric regressed past its tolerance.  Which direction is "worse" and how
+much slack is allowed follow from the key's suffix:
+
+  suffix                          direction      default tolerance
+  .events_per_sec                 higher-better  -15%
+  .peak_rss_bytes                 lower-better   +30%
+  .bytes_per_peer                 lower-better   +30%
+  .routing_table_bytes            lower-better   +30%
+  .p99 / .p95 (latency summaries) lower-better   +10%
+
+Everything else is informational: it is diffed and printed with --verbose
+but never gates.  A gated key present in the baseline but missing from the
+candidate is a failure (a silently dropped metric must not pass the gate);
+keys only in the candidate are ignored (new metrics are fine).
+
+Wall-clock-derived metrics (events_per_sec) are inherently noisy, so the
+gate is meant to catch real regressions (the acceptance bar is a 20% drop),
+not single-percent drift.  --slack N multiplies every tolerance for noisier
+environments.
+
+Usage:
+  bench_compare.py BASELINE.json CANDIDATE.json [--slack N] [--verbose]
+  bench_compare.py --self-test
+
+Exit codes: 0 pass, 1 regression(s), 2 usage/input error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+# (suffix, higher_is_better, relative tolerance)
+GATES = [
+    (".events_per_sec", True, 0.15),
+    (".peak_rss_bytes", False, 0.30),
+    (".bytes_per_peer", False, 0.30),
+    (".routing_table_bytes", False, 0.30),
+    (".p99", False, 0.10),
+    (".p95", False, 0.10),
+]
+
+
+def flatten(node, prefix=""):
+    """Flattens nested dicts to {dotted.key: numeric leaf}."""
+    out = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            out.update(flatten(value, f"{prefix}.{key}" if prefix else key))
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        out[prefix] = float(node)
+    return out
+
+
+def gate_for(key):
+    for suffix, higher, tol in GATES:
+        if key.endswith(suffix):
+            return higher, tol
+    return None
+
+
+def compare(baseline, candidate, slack=1.0, verbose=False, out=sys.stdout):
+    """Returns the list of failure strings (empty = gate passes)."""
+    base = flatten(baseline.get("metrics", {}))
+    cand = flatten(candidate.get("metrics", {}))
+    failures = []
+    for key in sorted(base):
+        gate = gate_for(key)
+        if gate is None:
+            if verbose and key in cand and cand[key] != base[key]:
+                print(f"  info {key}: {base[key]:g} -> {cand[key]:g}",
+                      file=out)
+            continue
+        higher_is_better, tol = gate
+        tol *= slack
+        if key not in cand:
+            failures.append(f"{key}: present in baseline, missing from "
+                            "candidate")
+            continue
+        b, c = base[key], cand[key]
+        if b == 0:
+            continue  # nothing to express a relative change against
+        change = (c - b) / abs(b)
+        worse = -change if higher_is_better else change
+        status = "FAIL" if worse > tol else "ok"
+        arrow = f"{key}: {b:g} -> {c:g} ({change:+.1%}, allow " \
+                f"{'-' if higher_is_better else '+'}{tol:.0%})"
+        if status == "FAIL":
+            failures.append(arrow)
+        if verbose or status == "FAIL":
+            print(f"  {status:4s} {arrow}", file=out)
+    return failures
+
+
+def self_test():
+    """Exercises the gate against synthetic report pairs."""
+    def report(eps=1e6, rss=100e6, p99=12.0):
+        return {"metrics": {"n1000": {
+            "events_per_sec": eps,
+            "peak_rss_bytes": rss,
+            "lookup_latency_ms": {"p99": p99},
+            "lookup_hops": {"mean": 3.0},
+        }}}
+
+    import io
+    sink = io.StringIO()
+    cases = [
+        ("identical reports pass", report(), report(), True),
+        ("10% events/sec drop within tolerance", report(), report(eps=0.9e6),
+         True),
+        ("20% events/sec regression caught", report(), report(eps=0.8e6),
+         False),
+        ("events/sec improvement passes", report(), report(eps=2e6), True),
+        ("50% RSS growth caught", report(), report(rss=150e6), False),
+        ("RSS shrink passes", report(), report(rss=50e6), True),
+        ("20% p99 latency regression caught", report(), report(p99=14.4),
+         False),
+        ("ungated metric change ignored", report(),
+         {"metrics": {"n1000": {**report()["metrics"]["n1000"],
+                                "lookup_hops": {"mean": 9.0}}}}, True),
+        ("dropped gated metric caught", report(),
+         {"metrics": {"n1000": {"events_per_sec": 1e6}}}, False),
+        ("slack widens tolerance", report(), report(eps=0.8e6), True, 2.0),
+    ]
+    failed = 0
+    for case in cases:
+        name, base, cand, want_pass = case[:4]
+        slack = case[4] if len(case) > 4 else 1.0
+        got_pass = not compare(base, cand, slack=slack, out=sink)
+        ok = got_pass == want_pass
+        failed += 0 if ok else 1
+        print(f"  {'ok' if ok else 'FAIL'}: {name}")
+    if failed:
+        print(f"self-test: {failed} case(s) failed", file=sys.stderr)
+        return 1
+    print(f"self-test: all {len(cases)} cases passed")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Threshold-gated diff of two BENCH_*.json reports")
+    parser.add_argument("baseline", nargs="?")
+    parser.add_argument("candidate", nargs="?")
+    parser.add_argument("--slack", type=float, default=1.0,
+                        help="multiply every tolerance (noisy environments)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print every compared key, not just failures")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in gate test cases and exit")
+    args = parser.parse_args(argv[1:])
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.candidate:
+        parser.print_usage(sys.stderr)
+        return 2
+    try:
+        with open(args.baseline, encoding="utf-8") as f:
+            baseline = json.load(f)
+        with open(args.candidate, encoding="utf-8") as f:
+            candidate = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"bench_compare: {err}", file=sys.stderr)
+        return 2
+
+    print(f"bench_compare: {args.baseline} -> {args.candidate} "
+          f"(slack x{args.slack:g})")
+    failures = compare(baseline, candidate, slack=args.slack,
+                       verbose=args.verbose)
+    if failures:
+        print(f"bench_compare: {len(failures)} regression(s)",
+              file=sys.stderr)
+        return 1
+    print("bench_compare: gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -30,6 +30,12 @@ the constructs that historically break that:
 Escape hatch: a finding is suppressed when the same line or the line above
 carries  // lint:allow(<rule>)  (e.g. measurement-only wall-clock reads).
 
+The wallclock escape is additionally gated by an audited allowlist: only the
+files in WALLCLOCK_ALLOWED_FILES may carry // lint:allow(wallclock) at all
+(the profiler's tick calibration and the harness's phase-timing measurement).
+A wallclock escape anywhere else is itself a finding -- extending the
+allowlist is a reviewed change to this file, not a drive-by comment.
+
 Usage: lint_determinism.py <dir-or-file>...   (exit 1 when findings remain)
 """
 
@@ -78,6 +84,20 @@ PATTERN_RULES = {
 }
 
 ALLOW = re.compile(r"//\s*lint:allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+# The only files where // lint:allow(wallclock) is honored.  Both uses are
+# measurement-only (values exported after the run, never fed back into
+# event scheduling); anything new must be audited into this list.
+WALLCLOCK_ALLOWED_FILES = (
+    "src/stats/profiler.hpp",
+    "src/stats/profiler.cpp",
+    "src/exp/harness.cpp",
+)
+
+
+def wallclock_escape_allowed(path: Path) -> bool:
+    posix = path.as_posix()
+    return any(posix.endswith(allowed) for allowed in WALLCLOCK_ALLOWED_FILES)
 
 
 def strip_strings(line: str) -> str:
@@ -149,6 +169,15 @@ def lint_file(path: Path) -> list[tuple[Path, int, str, str]]:
         if not code.strip():
             continue
         allowed = allowed_rules(lines, idx)
+        if ("wallclock" in allowed_rules([raw], 0)
+                and not wallclock_escape_allowed(path)):
+            findings.append((
+                path,
+                idx + 1,
+                "wallclock-escape",
+                "lint:allow(wallclock) outside the audited allowlist "
+                "(see WALLCLOCK_ALLOWED_FILES in lint_determinism.py)",
+            ))
         for rule, (rx, msg) in PATTERN_RULES.items():
             if rx.search(code) and rule not in allowed:
                 findings.append((path, idx + 1, rule, msg))
