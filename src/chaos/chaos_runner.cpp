@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <memory>
 
 #include "audit/overlay_auditor.hpp"
 #include "chaos/fault_engine.hpp"
 #include "chaos/reference_model.hpp"
+#include "common/env.hpp"
 #include "common/rng.hpp"
+#include "sim/tie_break.hpp"
 #include "hybrid/hybrid_system.hpp"
 #include "net/transit_stub.hpp"
 #include "net/underlay.hpp"
@@ -110,6 +113,27 @@ ChaosReport run_chaos(const ChaosConfig& cfg) {
 
   Rng rng(cfg.seed);
   sim::Simulator sim;
+
+  // Optional randomized tie-break (`shuffle:<seed>`, from the config or the
+  // HP2P_TIEBREAK environment variable): equal-timestamp events fire in a
+  // seeded random order instead of schedule order, so a soak exercises tie
+  // interleavings the FIFO kernel never shows.  The oracle's verdicts are
+  // order-independent, so any new failure is a real protocol bug.
+  std::unique_ptr<sim::ShuffleTieBreak> shuffler;
+  {
+    const std::string spec = cfg.tie_break.empty()
+                                 ? env_or("HP2P_TIEBREAK", "")
+                                 : cfg.tie_break;
+    constexpr const char* kPrefix = "shuffle:";
+    if (spec.rfind(kPrefix, 0) == 0) {
+      const std::uint64_t tb_seed =
+          std::strtoull(spec.c_str() + std::string(kPrefix).size(), nullptr,
+                        10);
+      shuffler = std::make_unique<sim::ShuffleTieBreak>(tb_seed);
+      sim.set_tie_break_policy(shuffler.get());
+    }
+  }
+
   net::Underlay underlay(
       net::generate_transit_stub(
           net::TransitStubParams::for_total_nodes(cfg.hosts), rng),

@@ -39,6 +39,12 @@ struct ChaosConfig {
   /// both at issue time and after recovery.
   std::uint32_t storm_lookups = 0;
   hybrid::HybridParams params = chaos_default_params();
+  /// Kernel tie-break policy, `""` (kernel FIFO default) or
+  /// `shuffle:<seed>` (seeded random pick among equal-timestamp events).
+  /// Defaults to the HP2P_TIEBREAK environment variable so ordinary soaks
+  /// can be re-run shuffled without recompiling; every outcome must still
+  /// pass the oracle -- a tie-order-dependent protocol bug fails the soak.
+  std::string tie_break;
   FaultSchedule schedule;
   /// Recovery time simulated after the last phase before the oracle runs.
   sim::Duration settle = sim::SimTime::seconds(60);

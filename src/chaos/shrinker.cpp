@@ -23,27 +23,11 @@ FaultSchedule shrink_schedule(
   bool changed = true;
   while (changed) {
     changed = false;
-    // Phase-list reduction, ddmin-style: try dropping contiguous chunks,
-    // halving the chunk size down to single phases.
-    for (std::size_t chunk = failing.phases.size(); chunk >= 1; chunk /= 2) {
-      for (std::size_t at = 0;
-           at + chunk <= failing.phases.size() && failing.phases.size() > 1;) {
-        std::vector<FaultPhase> reduced;
-        reduced.reserve(failing.phases.size() - chunk);
-        for (std::size_t i = 0; i < failing.phases.size(); ++i) {
-          if (i < at || i >= at + chunk) reduced.push_back(failing.phases[i]);
-        }
-        if (!reduced.empty() &&
-            still_fails(with_phases(failing, reduced))) {
-          failing.phases = std::move(reduced);
-          changed = true;
-          // Re-test the same position against the shorter list.
-        } else {
-          at += 1;
-        }
-      }
-      if (chunk == 1) break;
-    }
+    // Phase-list reduction via the shared ddmin core (chaos/shrinker.hpp).
+    changed |= ddmin_list(failing.phases, 1,
+                          [&](const std::vector<FaultPhase>& reduced) {
+                            return still_fails(with_phases(failing, reduced));
+                          });
     // Intensity / count halving: keep a weaker phase only if it still
     // reproduces, so the reproducer documents the minimal stress needed.
     for (std::size_t i = 0; i < failing.phases.size(); ++i) {

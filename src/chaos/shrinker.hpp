@@ -5,11 +5,43 @@
 // FaultSchedule::one_line().
 #pragma once
 
+#include <cstddef>
 #include <functional>
+#include <vector>
 
 #include "chaos/fault_schedule.hpp"
 
 namespace hp2p::chaos {
+
+/// ddmin-style list reduction, the shared core of shrink_schedule and the
+/// verify/ explorer's trace minimizer: repeatedly tries dropping contiguous
+/// chunks (halving the chunk size down to single elements) and keeps any
+/// reduction for which `still_fails(candidate)` holds.  Never shrinks below
+/// `min_keep` elements.  Returns true when anything was removed.
+template <typename T, typename Pred>
+bool ddmin_list(std::vector<T>& items, std::size_t min_keep,
+                const Pred& still_fails) {
+  bool changed = false;
+  for (std::size_t chunk = items.size(); chunk >= 1; chunk /= 2) {
+    for (std::size_t at = 0;
+         at + chunk <= items.size() && items.size() > min_keep;) {
+      std::vector<T> reduced;
+      reduced.reserve(items.size() - chunk);
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i < at || i >= at + chunk) reduced.push_back(items[i]);
+      }
+      if (reduced.size() >= min_keep && still_fails(reduced)) {
+        items = std::move(reduced);
+        changed = true;
+        // Re-test the same position against the shorter list.
+      } else {
+        at += 1;
+      }
+    }
+    if (chunk == 1) break;
+  }
+  return changed;
+}
 
 /// Shrinks `failing` while `still_fails` keeps returning true on the
 /// candidate.  Deterministic; the predicate is typically a full run_chaos

@@ -20,4 +20,10 @@ double env_or(const std::string& name, double fallback) {
   return (end != nullptr && *end == '\0') ? parsed : fallback;
 }
 
+std::string env_or(const std::string& name, const char* fallback) {
+  const char* v = std::getenv(name.c_str());
+  return (v == nullptr || *v == '\0') ? std::string(fallback)
+                                      : std::string(v);
+}
+
 }  // namespace hp2p

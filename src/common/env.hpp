@@ -17,4 +17,9 @@ namespace hp2p {
 /// Returns the double value of environment variable `name`, or `fallback`.
 [[nodiscard]] double env_or(const std::string& name, double fallback);
 
+/// Returns the string value of environment variable `name`, or `fallback`
+/// when unset or empty.
+[[nodiscard]] std::string env_or(const std::string& name,
+                                 const char* fallback);
+
 }  // namespace hp2p

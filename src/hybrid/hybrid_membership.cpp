@@ -1275,6 +1275,12 @@ void HybridSystem::heartbeat_step(PeerIndex p_idx) {
     p.last_sweep = now;
     replication_sweep(p_idx);
   }
+  // Footprint for the verify/ explorer: a heartbeat scan reads and writes
+  // only this peer's own records (last_heard/last_sent, child/mesh lists,
+  // ring pointers), so scans of distinct peers commute.  Messages it sends
+  // are stamped by the transport with their own endpoint footprints.
+  const sim::FootprintScope fps{sim_,
+                                sim::Footprint::on({p_idx.value()})};
   sim_.schedule_after(params_.hello_interval,
                       [this, p_idx] { heartbeat_step(p_idx); });
 }
@@ -1330,7 +1336,7 @@ void HybridSystem::note_heard(PeerIndex at, PeerIndex from) {
       rehome_foreign_items(from);
     }
   }
-  if (f.role == Role::kSPeer && f.cp == at &&
+  if (params_.child_readopt && f.role == Role::kSPeer && f.cp == at &&
       std::find(p.children.begin(), p.children.end(), from) ==
           p.children.end()) {
     // The sender believes we are its parent but our child record is gone

@@ -88,6 +88,12 @@ struct HybridParams {
   sim::Duration hello_timeout = sim::SimTime::millis(5000);
   /// Suppress timer: minimum gap between acknowledgment messages.
   sim::Duration ack_suppress = sim::SimTime::millis(500);
+  /// note_heard repair rule: a parent that false-positive-timed-out a child
+  /// takes it back when the child's next HELLO arrives.  Disabling it makes
+  /// the HELLO-timeout vs. late-HELLO race a real (persistent) bug -- the
+  /// interleaving explorer's order-dependence canary relies on exactly
+  /// that (tests only; keep true in production configs).
+  bool child_readopt = true;
 
   /// Requester-side deadline before a lookup counts as failed.
   sim::Duration lookup_timeout = sim::SimTime::seconds(15);

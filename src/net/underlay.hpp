@@ -103,7 +103,7 @@ class LinkStress {
   bool sparse_;
   std::vector<std::uint64_t> counts_;  // dense storage
   // Lookup/insert only -- never iterated, so hash order cannot leak into
-  // any result.  lint:allow(unordered-iter)
+  // any result.
   std::unordered_map<std::uint32_t, std::uint64_t> sparse_counts_;
   std::uint64_t total_ = 0;
   std::uint64_t max_ = 0;

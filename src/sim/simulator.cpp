@@ -39,6 +39,7 @@ TimerId Simulator::schedule_at(SimTime when, Action action) {
   s.when = when;
   s.seq = seq;
   s.comp = current_component_;
+  s.fp = current_footprint_;
   s.action = std::move(action);
   heap_.push(HeapItem{when, seq, slot});
   ++live_events_;
@@ -93,12 +94,12 @@ bool Simulator::pop_live(HeapItem& out, Action& action, Component& comp) {
   return false;
 }
 
-bool Simulator::step() {
-  HeapItem item{};
-  Action action;
-  Component comp = Component::kKernel;
-  if (!pop_live(item, action, comp)) return false;
-  now_ = item.when;
+void Simulator::fire(const HeapItem& item, Action& action, Component comp) {
+  // Monotone clock: under a nonzero commutation window a policy can fire an
+  // event "early", so now() only ever moves forward.  In FIFO mode the pop
+  // order guarantees item.when >= now_, making this the plain assignment it
+  // always was.
+  if (item.when > now_) now_ = item.when;
   ++stats_.events_executed;
   if (trace_) trace_(TraceEvent{TraceEvent::Kind::kFire, item.seq, item.when});
   // The dispatched action inherits the event's tag, so anything it schedules
@@ -113,7 +114,59 @@ bool Simulator::step() {
     action();
   }
   current_component_ = Component::kKernel;
+}
+
+bool Simulator::step() {
+  if (policy_ != nullptr) return step_choice();
+  HeapItem item{};
+  Action action;
+  Component comp = Component::kKernel;
+  if (!pop_live(item, action, comp)) return false;
+  fire(item, action, comp);
   return true;
+}
+
+bool Simulator::step_choice() {
+  const HeapItem* first = peek_live();
+  if (first == nullptr) return false;
+  // Gather the co-enabled set: every live event whose fire time falls within
+  // the commutation window of the earliest.  The heap pops in (when, seq)
+  // order, so staged_ lists the candidates in FIFO order -- index 0 is the
+  // event the default kernel would have fired.
+  const SimTime limit = first->when + window_;
+  staged_.clear();
+  cands_.clear();
+  while (!heap_.empty()) {
+    const HeapItem top = heap_.top();
+    if (!slot_live(top)) {
+      heap_.pop();  // cancelled; discard the corpse
+      ++stats_.corpses_skipped;
+      continue;
+    }
+    if (top.when > limit) break;
+    heap_.pop();
+    staged_.push_back(top);
+  }
+  for (const HeapItem& it : staged_) {
+    const Slot& s = slots_[it.slot];
+    cands_.push_back(CoEnabledEvent{it.seq, it.when, s.comp, s.fp});
+  }
+  std::size_t pick = policy_->choose(cands_.data(), cands_.size());
+  if (pick >= staged_.size()) pick = 0;
+  const HeapItem item = staged_[pick];
+  for (std::size_t i = 0; i < staged_.size(); ++i) {
+    if (i != pick) heap_.push(staged_[i]);
+  }
+  Action action = std::move(slots_[item.slot].action);
+  const Component comp = slots_[item.slot].comp;
+  free_slot(item.slot);
+  fire(item, action, comp);
+  return true;
+}
+
+SimTime Simulator::next_event_time() {
+  const HeapItem* next = peek_live();
+  return next == nullptr ? SimTime::never() : next->when;
 }
 
 void Simulator::run() {

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <initializer_list>
 #include <queue>
 #include <vector>
 
@@ -86,6 +87,61 @@ class DispatchProbe {
   /// Lets a timing probe re-mark its clock baseline so host work between
   /// dispatch runs is never charged to the next event.
   virtual void resync() {}
+};
+
+/// Per-event footprint: which peers the event's handler may touch.  Stamped
+/// at schedule time (like the Component tag) and consumed by the verify/
+/// explorer's independence relation: two events with non-wildcard, disjoint
+/// peer sets commute.  The default is wildcard ("may touch anything"), so
+/// unannotated call sites are conservatively ordered against everything --
+/// annotations can only *add* commutativity, never unsoundness.
+struct Footprint {
+  static constexpr std::size_t kMaxPeers = 4;
+  std::uint32_t peers[kMaxPeers] = {0, 0, 0, 0};
+  std::uint8_t count = 0;
+  bool wildcard = true;
+
+  [[nodiscard]] static constexpr Footprint wild() { return Footprint{}; }
+  [[nodiscard]] static Footprint on(std::initializer_list<std::uint32_t> ids) {
+    Footprint f;
+    if (ids.size() > kMaxPeers) return f;  // too wide: stay wildcard
+    f.wildcard = false;
+    for (std::uint32_t id : ids) f.peers[f.count++] = id;
+    return f;
+  }
+  /// True when the two events are guaranteed to commute: neither is a
+  /// wildcard and their peer sets are disjoint.
+  [[nodiscard]] friend bool independent(const Footprint& a,
+                                        const Footprint& b) {
+    if (a.wildcard || b.wildcard) return false;
+    for (std::uint8_t i = 0; i < a.count; ++i) {
+      for (std::uint8_t j = 0; j < b.count; ++j) {
+        if (a.peers[i] == b.peers[j]) return false;
+      }
+    }
+    return true;
+  }
+};
+
+/// One member of the co-enabled set handed to a TieBreakPolicy: a live event
+/// whose fire time falls within the commutation window of the earliest live
+/// event.  `seq` is stable across deterministic re-executions with the same
+/// choice prefix, so explorers identify branches by it.
+struct CoEnabledEvent {
+  std::uint64_t seq = 0;
+  SimTime when{};
+  Component comp = Component::kKernel;
+  Footprint fp{};
+};
+
+/// Pluggable tie-break: when installed, the kernel consults it on *every*
+/// dispatch with the full co-enabled set (even singletons, so stateful
+/// policies -- sleep sets -- can observe the whole schedule).  Must return
+/// an index < n; out-of-range picks fall back to 0 (FIFO order).
+class TieBreakPolicy {
+ public:
+  virtual ~TieBreakPolicy() = default;
+  virtual std::size_t choose(const CoEnabledEvent* events, std::size_t n) = 0;
 };
 
 /// Counters the kernel maintains; exposed for tests and microbenchmarks.
@@ -204,6 +260,38 @@ class Simulator {
     if (probe_ != nullptr) probe_->leave();
   }
 
+  /// Footprint stamped on events scheduled right now (mirrors the component
+  /// tag).  Defaults to wildcard; FootprintScope narrows it.
+  [[nodiscard]] const Footprint& current_footprint() const {
+    return current_footprint_;
+  }
+  Footprint begin_footprint(const Footprint& f) {
+    const Footprint prev = current_footprint_;
+    current_footprint_ = f;
+    return prev;
+  }
+  void end_footprint(const Footprint& prev) { current_footprint_ = prev; }
+
+  /// Installs (or, with nullptr, removes) the tie-break policy and sets the
+  /// commutation window: live events whose fire times fall within `window`
+  /// of the earliest live event form the co-enabled set the policy chooses
+  /// from.  window == 0 (the default) means exact timestamp ties only.
+  /// With a nonzero window an event can fire "early"; now() stays monotone
+  /// (it never moves backward), so a reordered event observes the latest
+  /// time of any event fired before it.  When unset the dispatch path is
+  /// unchanged (one predicted branch per event).
+  void set_tie_break_policy(TieBreakPolicy* policy, Duration window = {}) {
+    policy_ = policy;
+    window_ = window;
+  }
+  [[nodiscard]] TieBreakPolicy* tie_break_policy() const { return policy_; }
+
+  /// Fire time of the next live event (prunes lazy-cancel corpses), or
+  /// never() when the queue is empty.  Lets explorer drivers run a bounded
+  /// horizon with an abort check between events.
+  [[nodiscard]] SimTime next_event_time();
+  [[nodiscard]] bool has_live_events() { return peek_live() != nullptr; }
+
   /// Arena occupancy, for the profiler's gauges: total slots ever grown to
   /// (the high-water mark of concurrently live events), currently live
   /// slots, and raw heap entries (live events + lazy-cancel corpses).
@@ -225,6 +313,7 @@ class Simulator {
     SimTime when{};  // kept so cancel() can report the fire time in traces
     std::uint64_t seq = 0;
     Component comp = Component::kKernel;  // tag current at schedule time
+    Footprint fp{};                       // footprint current at schedule time
     Action action;
   };
   struct Later {
@@ -249,6 +338,14 @@ class Simulator {
   /// Returns false when nothing live remains.
   bool pop_live(HeapItem& out, Action& action, Component& comp);
 
+  /// Policy-mode dispatch: gathers the co-enabled set, lets the installed
+  /// TieBreakPolicy pick, fires the pick, and pushes the rest back.
+  bool step_choice();
+
+  /// Fires one popped event: advances now() monotonically, runs the action
+  /// under its component tag, and brackets it with the dispatch probe.
+  void fire(const HeapItem& item, Action& action, Component comp);
+
   SimTime now_{};
   std::uint64_t next_seq_ = 1;
   std::size_t daemon_events_ = 0;
@@ -259,7 +356,12 @@ class Simulator {
   SimulatorStats stats_;
   TraceFn trace_;
   Component current_component_ = Component::kKernel;
+  Footprint current_footprint_{};  // wildcard by default
   DispatchProbe* probe_ = nullptr;
+  TieBreakPolicy* policy_ = nullptr;  // not owned; nullptr = FIFO dispatch
+  Duration window_{};                 // co-enabled commutation window
+  std::vector<HeapItem> staged_;      // step_choice scratch (reused)
+  std::vector<CoEnabledEvent> cands_;
 };
 
 /// RAII component-tag switch: statements inside the scope -- and every event
@@ -276,6 +378,21 @@ class ComponentScope {
  private:
   Simulator& sim_;
   Component prev_;
+};
+
+/// RAII footprint switch: events scheduled inside the scope are stamped as
+/// touching exactly `f`'s peers.  Nesting restores the previous footprint.
+class FootprintScope {
+ public:
+  FootprintScope(Simulator& sim, const Footprint& f)
+      : sim_(sim), prev_(sim.begin_footprint(f)) {}
+  ~FootprintScope() { sim_.end_footprint(prev_); }
+  FootprintScope(const FootprintScope&) = delete;
+  FootprintScope& operator=(const FootprintScope&) = delete;
+
+ private:
+  Simulator& sim_;
+  Footprint prev_;
 };
 
 }  // namespace hp2p::sim

@@ -1,0 +1,35 @@
+// Stock tie-break policies for the kernel's pluggable dispatch hook.
+//
+// The kernel's default (no policy installed) fires equal-timestamp events in
+// schedule order, which makes every run observe exactly one of the many
+// interleavings a real network permits.  ShuffleTieBreak randomizes that
+// choice from a seeded stream -- a cheap standalone stress knob for soaks
+// (HP2P_TIEBREAK=shuffle:<seed>) -- while the systematic DFS policies live
+// in src/verify/.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace hp2p::sim {
+
+/// Picks uniformly among the co-enabled events.  Deterministic given the
+/// seed: the policy is consulted in a fixed order by the (single-threaded)
+/// kernel, and singleton choices draw nothing from the stream, so the
+/// decision sequence is a pure function of (seed, schedule).
+class ShuffleTieBreak final : public TieBreakPolicy {
+ public:
+  explicit ShuffleTieBreak(std::uint64_t seed) : rng_(seed) {}
+
+  std::size_t choose(const CoEnabledEvent* events, std::size_t n) override {
+    (void)events;
+    return n <= 1 ? 0 : rng_.index(n);
+  }
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace hp2p::sim

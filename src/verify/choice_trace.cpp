@@ -1,0 +1,57 @@
+#include "verify/choice_trace.hpp"
+
+#include <cstdlib>
+
+namespace hp2p::verify {
+
+stats::JsonValue ChoiceTrace::to_json() const {
+  auto v = stats::JsonValue::object();
+  v.set("seed", static_cast<std::int64_t>(seed));
+  auto arr = stats::JsonValue::array();
+  arr.items().reserve(choices.size());
+  for (const Choice& c : choices) {
+    auto pair = stats::JsonValue::array();
+    pair.items().reserve(2);
+    pair.push_back(static_cast<std::int64_t>(c.decision));
+    pair.push_back(static_cast<std::int64_t>(c.branch));
+    arr.push_back(std::move(pair));
+  }
+  v.set("choices", std::move(arr));
+  return v;
+}
+
+std::optional<ChoiceTrace> ChoiceTrace::from_json(const stats::JsonValue& v) {
+  if (!v.is_object()) return std::nullopt;
+  ChoiceTrace t;
+  const auto* seed = v.find("seed");
+  if (seed == nullptr || !seed->is_number()) return std::nullopt;
+  t.seed = static_cast<std::uint64_t>(seed->as_int());
+  const auto* choices = v.find("choices");
+  if (choices == nullptr || !choices->is_array()) return std::nullopt;
+  for (const auto& pv : choices->items()) {
+    if (!pv.is_array() || pv.items().size() != 2 ||
+        !pv.items()[0].is_number() || !pv.items()[1].is_number()) {
+      return std::nullopt;
+    }
+    t.choices.push_back(
+        Choice{static_cast<std::uint32_t>(pv.items()[0].as_int()),
+               static_cast<std::uint32_t>(pv.items()[1].as_int())});
+  }
+  return t;
+}
+
+std::string ChoiceTrace::one_line() const {
+  return "seed=" + std::to_string(seed) + " choices=" + to_json().dump(0);
+}
+
+std::optional<ChoiceTrace> ChoiceTrace::parse_one_line(
+    const std::string& line) {
+  const std::string marker = "choices=";
+  const auto at = line.find(marker);
+  if (at == std::string::npos) return std::nullopt;
+  const auto json = stats::JsonValue::parse(line.substr(at + marker.size()));
+  if (!json) return std::nullopt;
+  return from_json(*json);
+}
+
+}  // namespace hp2p::verify

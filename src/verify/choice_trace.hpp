@@ -1,0 +1,45 @@
+// Branch-choice trace: the reproducer format of the interleaving explorer.
+//
+// A trace pins a run down to (scenario seed, sparse choice list): decision
+// points are numbered in kernel-consultation order, and any decision not
+// listed takes branch 0 -- the FIFO order the default kernel would have
+// used.  Replaying a trace deterministically re-executes the exact
+// interleaving, so a violating trace round-trips through its one_line()
+// form byte-identically, exactly like chaos FaultSchedules.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stats/json.hpp"
+
+namespace hp2p::verify {
+
+/// One non-default branch decision: at decision point `decision` (0-based,
+/// counting every kernel consultation with >= 2 candidates), take candidate
+/// `branch` instead of the FIFO default 0.
+struct Choice {
+  std::uint32_t decision = 0;
+  std::uint32_t branch = 0;
+
+  friend bool operator==(const Choice&, const Choice&) = default;
+};
+
+struct ChoiceTrace {
+  std::uint64_t seed = 1;
+  std::vector<Choice> choices;
+
+  friend bool operator==(const ChoiceTrace&, const ChoiceTrace&) = default;
+
+  [[nodiscard]] stats::JsonValue to_json() const;
+  [[nodiscard]] static std::optional<ChoiceTrace> from_json(
+      const stats::JsonValue& v);
+  /// One-line reproducer: `seed=<N> choices=<compact json>`.
+  [[nodiscard]] std::string one_line() const;
+  [[nodiscard]] static std::optional<ChoiceTrace> parse_one_line(
+      const std::string& line);
+};
+
+}  // namespace hp2p::verify

@@ -1,0 +1,77 @@
+// DPOR-style interleaving explorer.
+//
+// Drives depth-first search over branch-choice traces: each run re-executes
+// the scenario from its seed, replays the recorded choice prefix, then
+// diverges.  Pruning is classical sleep sets (Godefroid) over an
+// independence relation derived from the per-event footprints the kernel
+// stamps at schedule time; terminal states are deduplicated by canonical
+// hash.  Every completed run's terminal state is checked (strict audit +
+// reference-model verdicts inside run_scenario); violating runs are
+// reported as ChoiceTraces, minimizable via shrink_trace into one_line()
+// reproducers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "verify/choice_trace.hpp"
+#include "verify/scenario.hpp"
+
+namespace hp2p::verify {
+
+struct ExploreOptions {
+  /// Sleep-set pruning; off = naive enumeration of every branch
+  /// combination (the baseline the pruning claim is measured against).
+  bool sleep_sets = true;
+  /// Hard cap on scenario executions; hit -> budget_exhausted.
+  std::uint64_t max_runs = 200000;
+  /// Stop at the first violating run (the canary hunt); off = census mode.
+  bool stop_on_violation = false;
+  /// At most this many violating traces are recorded.
+  std::size_t max_traces = 4;
+};
+
+struct ExploreResult {
+  std::uint64_t runs = 0;            // scenario executions, incl. pruned
+  std::uint64_t completed_runs = 0;  // reached the horizon: one distinct
+                                     // interleaving each (DFS never repeats)
+  std::uint64_t pruned_runs = 0;     // abandoned mid-run by the sleep set
+  std::uint64_t sleeping_branches = 0;  // branches never explored at all
+  std::uint64_t decision_points = 0;    // distinct choice nodes created
+  std::uint64_t distinct_states = 0;    // unique canonical terminal hashes
+  std::uint64_t dedup_hits = 0;         // completed runs folded by the hash
+  std::uint64_t violating_runs = 0;
+  std::size_t max_depth = 0;  // deepest choice stack seen
+  bool budget_exhausted = false;
+  std::vector<ChoiceTrace> violating;          // up to max_traces
+  std::vector<std::string> violation_details;  // first run's violations
+  /// Sorted unique terminal hashes: lets tests assert pruning dropped no
+  /// distinct terminal state (POR set == naive set).
+  std::vector<std::uint64_t> state_hashes;
+
+  [[nodiscard]] bool clean() const { return violating_runs == 0; }
+};
+
+/// Exhaustive DFS over the scenario's interleavings (within options).
+[[nodiscard]] ExploreResult explore(const ScenarioConfig& cfg,
+                                    const ExploreOptions& opts = {});
+
+/// Budgeted seeded random-walk mode for configs too large to exhaust: each
+/// walk picks uniformly at every decision point (walk k uses seed0 + k).
+[[nodiscard]] ExploreResult random_walks(const ScenarioConfig& cfg,
+                                         std::uint64_t walks,
+                                         std::uint64_t seed0);
+
+/// Deterministically re-executes one recorded interleaving.  Decisions not
+/// named by the trace take branch 0 (FIFO); out-of-range branches clamp.
+[[nodiscard]] ScenarioOutcome replay(const ScenarioConfig& cfg,
+                                     const ChoiceTrace& trace);
+
+/// Minimizes a violating trace: fixed-point loop of ddmin over the sparse
+/// choice list (reusing the chaos shrinker's core) until no single chunk
+/// can be dropped while replay(cfg, trace) still reports a violation.
+[[nodiscard]] ChoiceTrace shrink_trace(const ScenarioConfig& cfg,
+                                       ChoiceTrace failing);
+
+}  // namespace hp2p::verify

@@ -1,0 +1,63 @@
+#include "verify/state_hash.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "hybrid/hybrid_system.hpp"
+#include "proto/data_store.hpp"
+
+namespace hp2p::verify {
+
+namespace {
+
+constexpr std::uint64_t kNoPeerWord = 0xffffffffffffffffULL;
+
+std::uint64_t peer_word(PeerIndex p) {
+  return p == kNoPeer ? kNoPeerWord : p.value();
+}
+
+}  // namespace
+
+std::uint64_t canonical_state_hash(const hybrid::HybridSystem& system) {
+  std::uint64_t h = kFnvOffset;
+  const std::size_t n = system.num_peers();
+  h = fnv1a_word(h, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const PeerIndex p{static_cast<std::uint32_t>(i)};
+    if (system.is_server_peer(p)) {
+      h = fnv1a_word(h, 0x5e7fe7);  // server marker; registry hashed below
+      continue;
+    }
+    const bool alive = system.is_alive(p);
+    const bool joined = system.is_joined(p);
+    h = fnv1a_word(h, (alive ? 1U : 0U) | (joined ? 2U : 0U) |
+                          (system.role_of(p) == hybrid::Role::kTPeer ? 4U
+                                                                     : 0U));
+    if (!alive) continue;  // a corpse's stale pointers are unobservable
+    h = fnv1a_word(h, system.pid_of(p).value());
+    h = fnv1a_word(h, peer_word(system.tpeer_of(p)));
+    h = fnv1a_word(h, peer_word(system.parent_of(p)));
+    h = fnv1a_word(h, peer_word(system.successor_of(p)));
+    h = fnv1a_word(h, peer_word(system.predecessor_of(p)));
+    std::vector<std::uint32_t> kids;
+    for (const PeerIndex c : system.children_of(p)) kids.push_back(c.value());
+    std::sort(kids.begin(), kids.end());
+    h = fnv1a_word(h, kids.size());
+    for (const std::uint32_t c : kids) h = fnv1a_word(h, c);
+    // Data placement: DataStore iterates in id order already.
+    h = fnv1a_word(h, system.store_of(p).size());
+    system.store_of(p).for_each([&](const proto::DataItem& item) {
+      h = fnv1a_word(h, item.id.value());
+      h = fnv1a_word(h, item.replica ? 1 : 0);
+    });
+  }
+  // Server registry: std::map, already in pid order.
+  h = fnv1a_word(h, system.registry().size());
+  for (const auto& [pid, owner] : system.registry()) {
+    h = fnv1a_word(h, pid);
+    h = fnv1a_word(h, peer_word(owner));
+  }
+  return h;
+}
+
+}  // namespace hp2p::verify

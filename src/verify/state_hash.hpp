@@ -1,0 +1,37 @@
+// Canonical overlay-state hash for the interleaving explorer.
+//
+// Two interleavings that converge to the same observable overlay -- ring
+// edges, tree edges, s-network membership, data placement -- must hash
+// equal, and the hash must not depend on anything transient (event seq
+// numbers, in-flight messages, rng cursors, per-run counters).  FNV-1a over
+// a canonical serialization: peers in dense index order (indices are
+// deterministic -- join events are scheduled at distinct times), children
+// and store ids sorted, then the server registry in pid order.
+#pragma once
+
+#include <cstdint>
+
+namespace hp2p::hybrid {
+class HybridSystem;
+}  // namespace hp2p::hybrid
+
+namespace hp2p::verify {
+
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/// One FNV-1a step over a 64-bit word (byte-at-a-time, endian-free).
+[[nodiscard]] constexpr std::uint64_t fnv1a_word(std::uint64_t h,
+                                                 std::uint64_t w) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (w >> (8 * i)) & 0xffU;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Canonical hash of the quiescent overlay state.
+[[nodiscard]] std::uint64_t canonical_state_hash(
+    const hybrid::HybridSystem& system);
+
+}  // namespace hp2p::verify

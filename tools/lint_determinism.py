@@ -30,6 +30,17 @@ the constructs that historically break that:
 Escape hatch: a finding is suppressed when the same line or the line above
 carries  // lint:allow(<rule>)  (e.g. measurement-only wall-clock reads).
 
+Escapes are themselves audited:
+
+  stale-escape     Every rule cited by a lint:allow must actually fire on
+                   that line or the line below.  An escape that suppresses
+                   nothing is a stale artifact of refactored code (or a
+                   typo'd rule name rendering the escape inert) and would
+                   silently swallow a future real finding at that site.
+  stale-allowlist  Every WALLCLOCK_ALLOWED_FILES entry that is part of the
+                   scanned set must still carry a wallclock escape;
+                   otherwise the allowlist grants latitude nobody uses.
+
 The wallclock escape is additionally gated by an audited allowlist: only the
 files in WALLCLOCK_ALLOWED_FILES may carry // lint:allow(wallclock) at all
 (the profiler's tick calibration and the harness's phase-timing measurement).
@@ -85,11 +96,17 @@ PATTERN_RULES = {
 
 ALLOW = re.compile(r"//\s*lint:allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
 
+# Any lint:allow-shaped token in a comment, including ones ALLOW does not
+# honor (mid-comment position, typo'd rule).  Used by the stale-escape
+# audit: every such token must cite rules that actually fire here.
+ESCAPE_TOKEN = re.compile(r"lint:allow\(([^)]*)\)")
+
+ESCAPABLE_RULES = set(PATTERN_RULES) | {"unordered-iter"}
+
 # The only files where // lint:allow(wallclock) is honored.  Both uses are
 # measurement-only (values exported after the run, never fed back into
 # event scheduling); anything new must be audited into this list.
 WALLCLOCK_ALLOWED_FILES = (
-    "src/stats/profiler.hpp",
     "src/stats/profiler.cpp",
     "src/exp/harness.cpp",
 )
@@ -135,10 +152,10 @@ def collect_unordered_names(text: str) -> set[str]:
     return set(UNORDERED_DECL.findall(text))
 
 
-def lint_file(path: Path) -> list[tuple[Path, int, str, str]]:
+def lint_file(path: Path) -> tuple[list[tuple[Path, int, str, str]], bool]:
+    """Lints one file.  Returns (findings, carries_wallclock_escape)."""
     text = path.read_text(encoding="utf-8", errors="replace")
     lines = text.splitlines()
-    findings = []
     names = collect_unordered_names(text)
     iter_res = []
     if names:
@@ -151,6 +168,13 @@ def lint_file(path: Path) -> list[tuple[Path, int, str, str]]:
         )
         # explicit iterator walk
         iter_res.append(re.compile(r"\b(?:%s)\b\s*\.\s*begin\s*\(" % alt))
+
+    # Pass 1: which rules fire on each line (pre-suppression), and where
+    # escape tokens sit.  Fire sets feed both the findings below and the
+    # stale-escape audit (a cited rule must fire on the escape's own line
+    # or the line below -- the two positions an escape is honored for).
+    fires: list[set[str]] = []
+    escapes: list[tuple[int, list[str]]] = []
     in_block_comment = False
     for idx, raw in enumerate(lines):
         line = raw
@@ -158,6 +182,7 @@ def lint_file(path: Path) -> list[tuple[Path, int, str, str]]:
         if in_block_comment:
             end = line.find("*/")
             if end < 0:
+                fires.append(set())
                 continue
             line = line[end + 2:]
             in_block_comment = False
@@ -165,11 +190,30 @@ def lint_file(path: Path) -> list[tuple[Path, int, str, str]]:
         if start >= 0 and line.find("*/", start) < 0:
             in_block_comment = True
             line = line[:start]
-        code = strip_strings(line).split("//")[0]
-        if not code.strip():
-            continue
+        stripped = strip_strings(line)
+        code = stripped.split("//")[0]
+        comment = stripped[len(code):]
+        fired: set[str] = set()
+        if code.strip():
+            for rule, (rx, _msg) in PATTERN_RULES.items():
+                if rx.search(code):
+                    fired.add(rule)
+            for rx in iter_res:
+                if rx.search(code):
+                    fired.add("unordered-iter")
+                    break
+        fires.append(fired)
+        m = ESCAPE_TOKEN.search(comment)
+        if m:
+            escapes.append(
+                (idx, [r.strip() for r in m.group(1).split(",") if r.strip()])
+            )
+
+    # Pass 2: findings = fires minus suppressions, plus the escape audits.
+    findings = []
+    for idx, fired in enumerate(fires):
         allowed = allowed_rules(lines, idx)
-        if ("wallclock" in allowed_rules([raw], 0)
+        if ("wallclock" in allowed_rules([lines[idx]], 0)
                 and not wallclock_escape_allowed(path)):
             findings.append((
                 path,
@@ -178,23 +222,36 @@ def lint_file(path: Path) -> list[tuple[Path, int, str, str]]:
                 "lint:allow(wallclock) outside the audited allowlist "
                 "(see WALLCLOCK_ALLOWED_FILES in lint_determinism.py)",
             ))
-        for rule, (rx, msg) in PATTERN_RULES.items():
-            if rx.search(code) and rule not in allowed:
-                findings.append((path, idx + 1, rule, msg))
-        if "unordered-iter" not in allowed:
-            for rx in iter_res:
-                if rx.search(code):
-                    findings.append(
-                        (
-                            path,
-                            idx + 1,
-                            "unordered-iter",
-                            "iteration over unordered container "
-                            "(nondeterministic order)",
-                        )
-                    )
-                    break
-    return findings
+        for rule in sorted(fired - allowed):
+            if rule == "unordered-iter":
+                msg = "iteration over unordered container " \
+                      "(nondeterministic order)"
+            else:
+                msg = PATTERN_RULES[rule][1]
+            findings.append((path, idx + 1, rule, msg))
+
+    saw_wallclock_escape = False
+    for idx, cited in escapes:
+        below = fires[idx + 1] if idx + 1 < len(fires) else set()
+        for rule in cited:
+            if rule == "wallclock":
+                saw_wallclock_escape = True
+            if rule not in ESCAPABLE_RULES:
+                findings.append((
+                    path,
+                    idx + 1,
+                    "stale-escape",
+                    f"lint:allow cites unknown rule '{rule}'",
+                ))
+            elif rule not in fires[idx] and rule not in below:
+                findings.append((
+                    path,
+                    idx + 1,
+                    "stale-escape",
+                    f"lint:allow({rule}) suppresses nothing here -- the "
+                    "rule fires neither on this line nor the one below",
+                ))
+    return findings, saw_wallclock_escape
 
 
 def main(argv: list[str]) -> int:
@@ -214,8 +271,26 @@ def main(argv: list[str]) -> int:
             print(f"lint_determinism: no such path: {p}", file=sys.stderr)
             return 2
     all_findings = []
+    wallclock_escapes: dict[str, bool] = {}
     for f in files:
-        all_findings.extend(lint_file(f))
+        findings, saw_wallclock = lint_file(f)
+        all_findings.extend(findings)
+        posix = f.as_posix()
+        wallclock_escapes[posix] = wallclock_escapes.get(posix, False) \
+            or saw_wallclock
+    # stale-allowlist: an allowlisted file that is part of this scan but
+    # carries no wallclock escape grants latitude nobody uses -- prune it.
+    for allowed in WALLCLOCK_ALLOWED_FILES:
+        scanned = [p for p in wallclock_escapes if p.endswith(allowed)]
+        for p in scanned:
+            if not wallclock_escapes[p]:
+                all_findings.append((
+                    Path(p),
+                    1,
+                    "stale-allowlist",
+                    f"'{allowed}' is in WALLCLOCK_ALLOWED_FILES but carries "
+                    "no lint:allow(wallclock) escape",
+                ))
     for path, lineno, rule, msg in all_findings:
         print(f"{path}:{lineno}: [{rule}] {msg}")
     if all_findings:
