@@ -100,17 +100,19 @@ template <typename Fn>
 }
 
 /// Machine-readable run report, written next to the ASCII output as
-/// BENCH_<name>.json.  Schema (version 4; v1 fields are unchanged, v2 adds
+/// BENCH_<name>.json.  Schema (version 5; v1 fields are unchanged, v2 adds
 /// the always-present `timeseries` array, v3 adds the `replication.*`
 /// namespace to per-run metrics -- replica/re-replication/anti-entropy/
 /// read-repair counters plus items_stored / items_recoverable /
 /// data_availability -- emitted by collect_run_result for every run; v4
 /// adds the always-present `run_info` provenance object and, on profiled
 /// runs (HP2P_PROFILE=1), the optional `profile` section exported by
-/// stats::Profiler::to_json()):
+/// stats::Profiler::to_json(); v5 adds the always-present `scenarios`
+/// array -- one ScenarioReport::to_json() object per production-traffic
+/// scenario executed by the run, empty for benches that run none):
 ///
 ///   {
-///     "schema_version": 4,
+///     "schema_version": 5,
 ///     "bench": "<name>",
 ///     "seed": <int>,
 ///     "run_info": {                   // provenance, never feeds metrics
@@ -128,6 +130,9 @@ template <typename Fn>
 ///     "timeseries": [                 // sampled gauges (empty when not run)
 ///       {"name": "...", "period_ms": ..., "t_ms": [...], "series": {...}}
 ///     ],
+///     "scenarios": [                  // per-scenario verdicts (empty when
+///       {"scenario": "...", ...}      //   the bench runs no scenarios)
+///     ],
 ///     "profile": { ... }              // only on HP2P_PROFILE=1 runs
 ///   }
 ///
@@ -137,7 +142,7 @@ template <typename Fn>
 /// or concurrent run never leaves a truncated report behind.
 class Reporter {
  public:
-  static constexpr std::int64_t kSchemaVersion = 4;
+  static constexpr std::int64_t kSchemaVersion = 5;
 
   explicit Reporter(std::string name, std::uint64_t seed = 0)
       : name_(std::move(name)), seed_(seed) {}
@@ -187,6 +192,12 @@ class Reporter {
   /// report's `profile` section (schema v4, HP2P_PROFILE=1 runs only).
   void set_profile(stats::JsonValue profile) { profile_ = std::move(profile); }
 
+  /// Appends one production-traffic scenario verdict
+  /// (workload::ScenarioReport::to_json()) to the v5 `scenarios` array.
+  void add_scenario(stats::JsonValue scenario) {
+    scenarios_.push_back(std::move(scenario));
+  }
+
   [[nodiscard]] stats::JsonValue to_json() const {
     stats::JsonValue root = stats::JsonValue::object();
     root.set("schema_version", stats::JsonValue{kSchemaVersion});
@@ -217,6 +228,9 @@ class Reporter {
     stats::JsonValue timeseries = stats::JsonValue::array();
     for (const stats::JsonValue& ts : timeseries_) timeseries.push_back(ts);
     root.set("timeseries", std::move(timeseries));
+    stats::JsonValue scenarios = stats::JsonValue::array();
+    for (const stats::JsonValue& sc : scenarios_) scenarios.push_back(sc);
+    root.set("scenarios", std::move(scenarios));
     if (profile_) root.set("profile", *profile_);
     return root;
   }
@@ -259,6 +273,7 @@ class Reporter {
   stats::MetricsRegistry metrics_;
   std::vector<stats::JsonValue> tables_;
   std::vector<stats::JsonValue> timeseries_;
+  std::vector<stats::JsonValue> scenarios_;
   std::optional<stats::JsonValue> profile_;
 };
 

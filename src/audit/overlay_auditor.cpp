@@ -312,10 +312,26 @@ void OverlayAuditor::check_trees(AuditReport& report) {
           }
           ++report.checks_run;
           if (sys_.parent_of(c) != p) {
-            add(report, "tree_parent_child_symmetry", c,
-                "cp == " + peer_str(p),
-                "cp == " + peer_str(sys_.parent_of(c)),
-                "listed as child of " + peer_str(p));
+            // A false-positive suspicion makes the child re-home while the
+            // old parent, alive all along, keeps its stale entry until its
+            // own hello timeout erases it.  Lenient passes excuse exactly
+            // that window -- the child must be consistently attached under
+            // its claimed new parent (or mid-rejoin with no parent yet);
+            // a child attached nowhere coherent is corruption even
+            // mid-churn, and strict passes flag any stale entry.
+            const PeerIndex q = sys_.parent_of(c);
+            bool reattached = q == kNoPeer;
+            if (!reattached && sys_.is_alive(q) && sys_.is_joined(q)) {
+              const auto& qkids = sys_.children_of(q);
+              reattached =
+                  std::find(qkids.begin(), qkids.end(), c) != qkids.end();
+            }
+            if (!(lenient && reattached)) {
+              add(report, "tree_parent_child_symmetry", c,
+                  "cp == " + peer_str(p),
+                  "cp == " + peer_str(sys_.parent_of(c)),
+                  "listed as child of " + peer_str(p));
+            }
             continue;
           }
           ++report.checks_run;

@@ -68,6 +68,16 @@ bool ReferenceModel::replica_restorable(DataId id, PeerIndex owner) const {
   return false;
 }
 
+bool ReferenceModel::tracker_serves(PeerIndex owner, DataId id) const {
+  if (system_.store_of(owner).find(id) != nullptr) return true;
+  for (const PeerIndex h : system_.tracker_holders(owner, id)) {
+    if (live_member(system_, h) && system_.store_of(h).find(id) != nullptr) {
+      return true;
+    }
+  }
+  return false;
+}
+
 std::uint32_t ReferenceModel::chain_depth(PeerIndex origin) const {
   PeerIndex at = origin;
   for (std::size_t hops = 0; hops <= system_.num_peers(); ++hops) {
@@ -108,6 +118,22 @@ Expectation ReferenceModel::classify(PeerIndex origin, DataId id) const {
 
   const PeerIndex owner = system_.owner_tpeer(id);
   if (owner == kNoPeer) return {false, "no_owner"};
+
+  // Tracker mode (kBitTorrent): no flooding at all -- the lookup climbs to
+  // its root, rides the ring to the owner tracker, and succeeds iff the
+  // tracker can name a live announced holder (or holds the item itself).
+  // An unindexed live copy downgrades to MAY: the protocol has no way to
+  // find it, so the oracle must not demand it.
+  if (params.style == hybrid::SNetworkStyle::kBitTorrent) {
+    if (owner != root && !system_.verify_ring()) {
+      return {false, "ring_inconsistent"};
+    }
+    if (!live_member(system_, owner)) return {false, "owner_down"};
+    if (tracker_serves(owner, id)) {
+      return {true, owner == root ? "tracker_local" : "tracker_remote"};
+    }
+    return {false, "tracker_unindexed"};
+  }
 
   if (owner == root) {
     // Local-segment lookup: a flood from the origin must find a holder

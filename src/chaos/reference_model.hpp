@@ -59,6 +59,11 @@ class ReferenceModel {
   /// successor fallback holder.  Such a copy MUST be back at the owner by
   /// quiescence.
   [[nodiscard]] bool replica_restorable(DataId id, PeerIndex owner) const;
+  /// Tracker mode: true iff the tracker at `owner` can serve `id` -- it
+  /// holds the item itself, or its index names a live joined holder that
+  /// still has it.  Mirrors bt_lookup exactly (tracker first, then the
+  /// announced holder fan-out).
+  [[nodiscard]] bool tracker_serves(PeerIndex owner, DataId id) const;
   /// Hops along the cp chain from `origin` up to its root t-peer
   /// (0 for a t-peer); num_peers()+1 when the chain is severed.
   [[nodiscard]] std::uint32_t chain_depth(PeerIndex origin) const;

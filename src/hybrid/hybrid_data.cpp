@@ -56,7 +56,7 @@ void HybridSystem::store_id(PeerIndex from, DataId id, const std::string& key,
       const PeerIndex tracker = p.tpeer;
       net_.send(from, tracker, TrafficClass::kControl, proto::kControlBytes,
                 [this, tracker, id, from] {
-                  peer(tracker).tracker_index[id] = from;
+                  tracker_index_add(peer(tracker), id, from);
                 });
     }
     if (done) done();
@@ -76,7 +76,7 @@ void HybridSystem::store_id(PeerIndex from, DataId id, const std::string& key,
                   insert_or_rehome(to, std::move(item));
                   if (params_.style == SNetworkStyle::kBitTorrent) {
                     const PeerIndex tracker = peer(to).tpeer;
-                    peer(tracker).tracker_index[id] = to;
+                    tracker_index_add(peer(tracker), id, to);
                   }
                   if (done) done();
                 });
@@ -246,7 +246,7 @@ void HybridSystem::place_item(PeerIndex at, proto::DataItem item,
     const DataId id = item.id;
     if (holder == at) {
       t.store.insert(std::move(item));
-      t.tracker_index[id] = at;
+      tracker_index_add(t, id, at);
       if (done) done();
       return;
     }
@@ -256,7 +256,7 @@ void HybridSystem::place_item(PeerIndex at, proto::DataItem item,
                 peer(holder).store.insert(std::move(item));
                 net_.send(holder, at, TrafficClass::kControl,
                           proto::kControlBytes, [this, at, id, holder] {
-                            peer(at).tracker_index[id] = holder;
+                            tracker_index_add(peer(at), id, holder);
                           });
                 if (done) done();
               });
@@ -326,9 +326,19 @@ void HybridSystem::route_and_place(PeerIndex from, proto::DataItem item) {
 void HybridSystem::insert_or_rehome(PeerIndex at, proto::DataItem item) {
   Peer& p = peer(at);
   // Tracker mode keeps items wherever the tracker indexed them; re-homing
-  // would silently invalidate the index.
+  // would silently invalidate the index.  The receiver announces what it
+  // now holds (leave handovers and segment transfers move items without
+  // touching the index otherwise).
   if (params_.style == SNetworkStyle::kBitTorrent) {
+    const DataId id = item.id;
     p.store.insert(std::move(item));
+    if (params_.tracker_reannounce) {
+      if (p.role == Role::kTPeer) {
+        tracker_index_add(p, id, at);
+      } else {
+        tracker_announce(at, id);
+      }
+    }
     return;
   }
   // Segment unknown (root unresolved / mid-join): keep the item here rather
@@ -465,12 +475,14 @@ void HybridSystem::lookup_id(PeerIndex from, DataId id, LookupCallback done) {
   // The requester's own database (and cache, when the Section 7 scheme is
   // on) is free to check.
   bool from_cache = false;
-  if (answer_source(p, id, from_cache) != nullptr) {
+  if (const proto::DataItem* own = answer_source(p, id, from_cache);
+      own != nullptr) {
     if (from_cache) ++cache_hits_;
     proto::LookupResult r;
     r.success = true;
     r.latency = sim::SimTime{};
     r.found_at = from;
+    r.value = own->value;
     finish_query(qid, r);
     return;
   }
@@ -578,16 +590,99 @@ void HybridSystem::bt_lookup(PeerIndex /*origin*/, std::uint64_t qid,
   if (try_answer(tracker, qid, hops)) return;
   const auto holder_it = t.tracker_index.find(it->second.target);
   if (holder_it == t.tracker_index.end()) return;  // miss: timeout fires
-  const PeerIndex holder = holder_it->second;
-  net_.send(tracker, holder, TrafficClass::kQuery, proto::kQueryBytes,
-            [this, holder, qid, hops] {
-              auto qit = queries_.find(qid);
-              if (qit == queries_.end() || qit->second.finished) return;
-              if (qit->second.visited.insert(holder.value()).second) {
-                ++qit->second.contacted;
-              }
-              try_answer(holder, qid, hops + 1);
+  // The tracker hands the query to every announced holder it still
+  // believes alive (its own heartbeats prune dead members; the liveness
+  // check here mirrors prune_bypass).  The first holder with the item
+  // answers; the rest find the query finished and drop it.  A single
+  // stale entry therefore cannot fail a lookup while a live announced
+  // copy exists -- the multi-peer download path of the swarm workload.
+  std::vector<PeerIndex>& holders = holder_it->second;
+  std::erase_if(holders, [this](PeerIndex h) {
+    return !net_.alive(h) || !peer(h).joined;
+  });
+  if (holders.empty()) {
+    t.tracker_index.erase(holder_it);
+    return;  // every announced holder is gone: timeout fires
+  }
+  for (const PeerIndex holder : holders) {
+    net_.send(tracker, holder, TrafficClass::kQuery, proto::kQueryBytes,
+              [this, holder, qid, hops] {
+                auto qit = queries_.find(qid);
+                if (qit == queries_.end() || qit->second.finished) return;
+                if (qit->second.visited.insert(holder.value()).second) {
+                  ++qit->second.contacted;
+                }
+                try_answer(holder, qid, hops + 1);
+              });
+  }
+}
+
+// --- Tracker index maintenance (BitTorrent style) ----------------------------------
+
+void HybridSystem::tracker_index_add(Peer& t, DataId id, PeerIndex holder) {
+  auto& holders = t.tracker_index[id];
+  if (std::find(holders.begin(), holders.end(), holder) == holders.end()) {
+    holders.push_back(holder);
+  }
+}
+
+void HybridSystem::tracker_index_prune(Peer& t, PeerIndex dead) {
+  for (auto it = t.tracker_index.begin(); it != t.tracker_index.end();) {
+    auto& holders = it->second;
+    holders.erase(std::remove(holders.begin(), holders.end(), dead),
+                  holders.end());
+    it = holders.empty() ? t.tracker_index.erase(it) : std::next(it);
+  }
+}
+
+void HybridSystem::tracker_announce(PeerIndex member, DataId id) {
+  if (params_.style != SNetworkStyle::kBitTorrent ||
+      !params_.tracker_reannounce) {
+    return;
+  }
+  const Peer& m = peer(member);
+  const PeerIndex root = m.tpeer;
+  if (root == kNoPeer || root == member) return;
+  net_.send(member, root, TrafficClass::kControl, proto::kControlBytes,
+            [this, root, id, member] {
+              Peer& t = peer(root);
+              if (t.role != Role::kTPeer || !t.joined) return;
+              tracker_index_add(t, id, member);
             });
+}
+
+void HybridSystem::tracker_reannounce_store(PeerIndex member) {
+  if (params_.style != SNetworkStyle::kBitTorrent ||
+      !params_.tracker_reannounce) {
+    return;
+  }
+  Peer& m = peer(member);
+  const PeerIndex root = m.tpeer;
+  if (root == kNoPeer || m.store.empty()) return;
+  if (root == member) {
+    // A freshly promoted tracker indexes its own holdings locally.
+    m.store.for_each([&](const proto::DataItem& item) {
+      tracker_index_add(m, item.id, member);
+    });
+    return;
+  }
+  // One batched announce message carrying every stored id.
+  std::vector<DataId> ids;
+  m.store.for_each([&](const proto::DataItem& item) { ids.push_back(item.id); });
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  net_.send(member, root, TrafficClass::kControl, proto::kControlBytes,
+            [this, root, member, ids = std::move(ids)] {
+              Peer& t = peer(root);
+              if (t.role != Role::kTPeer || !t.joined) return;
+              for (const DataId id : ids) tracker_index_add(t, id, member);
+            });
+}
+
+std::vector<PeerIndex> HybridSystem::tracker_holders(PeerIndex t,
+                                                     DataId id) const {
+  const auto it = peer(t).tracker_index.find(id);
+  if (it == peer(t).tracker_index.end()) return {};
+  return it->second;
 }
 
 std::vector<PeerIndex> HybridSystem::snetwork_neighbors(const Peer& p) const {
@@ -739,6 +834,7 @@ bool HybridSystem::try_answer(PeerIndex at, std::uint64_t qid,
               r.request_hops = hops;
               r.peers_contacted = qit->second.contacted;
               r.found_at = at;
+              r.value = found.value;
               // The requester now holds a copy of the popular item and can
               // serve future queries for it (Section 7 caching scheme).
               cache_put(qit->second.origin, found);

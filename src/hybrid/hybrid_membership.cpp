@@ -571,6 +571,10 @@ void HybridSystem::descend_sjoin(PeerIndex at, PeerIndex joiner,
               // s-network than the one whose segment its items belong to;
               // send those back to their responsible t-peer.
               rehome_foreign_items(joiner);
+              // Tracker mode: the (possibly new) root must learn what this
+              // member holds -- after a tracker crash the heir starts with
+              // an empty index and these announces rebuild it.
+              tracker_reannounce_store(joiner);
               // A rejoining orphan brings its subtree along; everyone below
               // must learn the (possibly new) root.  Revisit-guarded:
               // child lists can hold transient cycles mid-churn.
@@ -588,6 +592,7 @@ void HybridSystem::descend_sjoin(PeerIndex at, PeerIndex joiner,
                               mm.tpeer = root;
                               mm.pid = peer(root).pid;
                               rehome_foreign_items(m);
+                              tracker_reannounce_store(m);
                             });
                   for (PeerIndex c : peer(m).children) next_level.push_back(c);
                 }
@@ -897,6 +902,25 @@ void HybridSystem::promote_speer(PeerIndex heir, PeerIndex old_t,
     o.pending_joins.clear();
     h.tracker_index = std::move(o.tracker_index);
     o.tracker_index.clear();
+    // Entries naming the leaver are stale the moment it goes dark; its
+    // items travel to the heir in the transfer above, so rewrite them.
+    for (auto& [id, holders] : h.tracker_index) {
+      bool has_heir = std::find(holders.begin(), holders.end(), heir) !=
+                      holders.end();
+      for (PeerIndex& holder : holders) {
+        if (holder != old_t) continue;
+        holder = heir;
+        if (has_heir) holder = kNoPeer;  // already listed: mark for removal
+        has_heir = true;
+      }
+      holders.erase(std::remove(holders.begin(), holders.end(), kNoPeer),
+                    holders.end());
+    }
+  } else if (params_.style == SNetworkStyle::kBitTorrent) {
+    // Crash replacement: the index died with the old tracker.  Seed the
+    // rebuild with the heir's own holdings; the orphans contribute theirs
+    // as they rejoin (tracker_reannounce_store on acceptance).
+    tracker_reannounce_store(heir);
   }
 
   registry_insert(h.pid, heir);
@@ -917,7 +941,10 @@ void HybridSystem::promote_speer(PeerIndex heir, PeerIndex old_t,
       if (seen[m.value()] != 0) continue;
       seen[m.value()] = 1;
       net_.send(heir, m, TrafficClass::kControl, proto::kControlBytes,
-                [this, m, heir] { peer(m).tpeer = heir; });
+                [this, m, heir] {
+                  peer(m).tpeer = heir;
+                  tracker_reannounce_store(m);
+                });
       for (PeerIndex c : peer(m).children) next.push_back(c);
     }
     frontier = std::move(next);
@@ -1334,6 +1361,7 @@ void HybridSystem::note_heard(PeerIndex at, PeerIndex from) {
       f.tpeer = root;
       f.pid = peer(root).pid;
       rehome_foreign_items(from);
+      tracker_reannounce_store(from);
     }
   }
   if (params_.child_readopt && f.role == Role::kSPeer && f.cp == at &&
@@ -1383,6 +1411,13 @@ void HybridSystem::on_neighbor_dead(PeerIndex at, PeerIndex dead) {
   auto& kids = p.children;
   if (std::find(kids.begin(), kids.end(), dead) != kids.end()) {
     kids.erase(std::remove(kids.begin(), kids.end(), dead), kids.end());
+    // A tracker also forgets what the dead member held: its data is gone,
+    // and a stale index entry would only delay lookups into the timeout.
+    if (p.role == Role::kTPeer &&
+        params_.style == SNetworkStyle::kBitTorrent &&
+        params_.tracker_reannounce) {
+      tracker_index_prune(p, dead);
+    }
     return;
   }
   auto& mesh = p.mesh_links;

@@ -227,6 +227,12 @@ class HybridSystem {
     return registry_owner(id.value());
   }
 
+  /// Holders the tracker at `t` has indexed for `id` (BitTorrent-style
+  /// s-networks; empty otherwise).  The chaos oracle uses this to decide
+  /// whether a tracker-mode lookup MUST succeed.
+  [[nodiscard]] std::vector<PeerIndex> tracker_holders(PeerIndex t,
+                                                       DataId id) const;
+
   // --- Data durability (segment-local replication) ------------------------------
 
   /// Deterministic replica set for `id`: the owning t-peer first, then up to
@@ -323,8 +329,12 @@ class HybridSystem {
     std::vector<BypassLink> bypass;
 
     proto::DataStore store;
-    // BitTorrent style: tracker index at the t-peer (d_id -> holder).
-    std::unordered_map<DataId, PeerIndex> tracker_index;
+    // BitTorrent style: tracker index at the t-peer (d_id -> holders, in
+    // announce order).  Multiple holders per id is what makes multi-peer
+    // swarm downloads work: the tracker hands the query to every announced
+    // holder and the first live one answers.  Ordered map: the promotion
+    // and pruning paths iterate it, and iteration feeds message emission.
+    std::map<DataId, std::vector<PeerIndex>> tracker_index;
     // Section 7 caching scheme: recently fetched items.  The map gives O(1)
     // hits on the lookup fast path; the deque preserves FIFO eviction order
     // (each cached id appears in it exactly once).
@@ -559,6 +569,21 @@ class HybridSystem {
   void start_remote_lookup(PeerIndex origin, std::uint64_t qid, DataId id);
   void bt_lookup(PeerIndex origin, std::uint64_t qid, PeerIndex tracker,
                  std::uint32_t hops);
+
+  // --- Tracker index maintenance (BitTorrent style) -----------------------------
+
+  /// Records `holder` for `id` in tracker `t`'s index (idempotent).
+  static void tracker_index_add(Peer& t, DataId id, PeerIndex holder);
+  /// Sends one announce for `id` from `member` up to its tracker root.
+  /// No-op outside kBitTorrent or when tracker_reannounce is off.
+  void tracker_announce(PeerIndex member, DataId id);
+  /// Re-announces every id in `member`'s store to its (possibly new)
+  /// tracker root: the index-healing path after crash promotion, orphan
+  /// rejoin, and subtree re-attach.  Gated like tracker_announce.
+  void tracker_reannounce_store(PeerIndex member);
+  /// Drops `dead` from every entry of tracker `t`'s index (crash cleanup,
+  /// driven by the tracker's own failure detection).
+  static void tracker_index_prune(Peer& t, PeerIndex dead);
   void maybe_add_bypass(PeerIndex a, PeerIndex b);
   /// Drops expired links so they stop consuming the delta budget.
   void prune_bypass(Peer& p);

@@ -137,6 +137,16 @@ struct HybridParams {
   /// Parallel walkers when s_search == kRandomWalk.
   unsigned walkers = 4;
 
+  /// Tracker-index healing for BitTorrent-style s-networks.  The tracker's
+  /// holder index dies with it on a crash (only a graceful handover moves
+  /// it), so by default members re-announce their stored ids whenever they
+  /// learn a new root (crash promotion, orphan rejoin, subtree re-attach)
+  /// and trackers prune entries for members they detect as dead.  Off, a
+  /// tracker crash permanently orphans every indexed item in its segment --
+  /// the swarm failover canary relies on exactly that.  No effect outside
+  /// SNetworkStyle::kBitTorrent.
+  bool tracker_reannounce = true;
+
   /// The caching scheme sketched as future work in Section 7: requesters
   /// cache items they fetched; any peer a query visits may answer from its
   /// cache, spreading the load of popular data across many peers.

@@ -22,6 +22,10 @@ struct LookupResult {
   std::uint32_t peers_contacted = 0;
   /// Peer where the item was found; kNoPeer on failure.
   PeerIndex found_at = kNoPeer;
+  /// Content token of the item that answered (DataItem::value); meaningful
+  /// only when success.  Swarm workloads compare it against the expected
+  /// piece hash for end-to-end integrity.
+  std::uint64_t value = 0;
   /// True when the failure was detected immediately (e.g. the requester has
   /// no upward path into the overlay) instead of waiting out the timeout.
   bool fast_fail = false;

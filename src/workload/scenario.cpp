@@ -1,0 +1,382 @@
+#include "workload/scenario.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <iterator>
+#include <sstream>
+
+namespace hp2p::workload {
+
+namespace {
+
+const char* kind_name(Op::Kind k) {
+  switch (k) {
+    case Op::Kind::kStore:
+      return "store";
+    case Op::Kind::kLookup:
+      return "lookup";
+    case Op::Kind::kJoin:
+      return "join";
+    case Op::Kind::kLeave:
+      return "leave";
+  }
+  return "?";
+}
+
+const char* origin_name(Op::Origin o) {
+  return o == Op::Origin::kRecentJoin ? "recent" : "any";
+}
+
+std::uint32_t pick32(Rng& rng) {
+  return static_cast<std::uint32_t>(rng.uniform(0, 0x7fffffff));
+}
+
+bool time_order(const Op& a, const Op& b) { return a.at < b.at; }
+
+/// Evenly spread `count` events over [start, start + window); index i lands
+/// at the centre of its slot so streams with different counts interleave.
+sim::SimTime slot_time(sim::SimTime start, sim::Duration window,
+                       std::uint32_t i, std::uint32_t count) {
+  assert(count > 0);
+  const double frac = (static_cast<double>(i) + 0.5) / count;
+  return start + sim::SimTime::micros(static_cast<std::int64_t>(
+                     frac * static_cast<double>(window.as_micros())));
+}
+
+}  // namespace
+
+std::vector<sim::SimTime> curve_times(const RateCurve& curve,
+                                      sim::SimTime start, Rng& rng) {
+  std::vector<sim::SimTime> times;
+  sim::SimTime phase_start = start;
+  for (const RatePhase& phase : curve) {
+    const auto count = static_cast<std::uint64_t>(
+        std::llround(phase.duration.as_seconds() * phase.per_second));
+    if (count > 0) {
+      const double spacing =
+          static_cast<double>(phase.duration.as_micros()) /
+          static_cast<double>(count);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        // Jitter keeps ops off exact grid points but never reorders them:
+        // each op stays inside the first half of its own slot.
+        const double offset =
+            (static_cast<double>(i) + 0.5 * rng.uniform01()) * spacing;
+        times.push_back(phase_start + sim::SimTime::micros(
+                                          static_cast<std::int64_t>(offset)));
+      }
+    }
+    phase_start += phase.duration;
+  }
+  return times;
+}
+
+std::string dump_stream(const std::vector<Op>& ops) {
+  std::ostringstream out;
+  for (const Op& op : ops) {
+    out << op.at.as_micros() << "us " << kind_name(op.kind) << ' '
+        << origin_name(op.origin) << " item=" << op.item
+        << " pick=" << op.pick << '\n';
+  }
+  return out.str();
+}
+
+std::vector<Op> merge_streams(std::vector<Op> a, std::vector<Op> b) {
+  std::vector<Op> out;
+  out.reserve(a.size() + b.size());
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out),
+             time_order);
+  return out;
+}
+
+std::vector<WorkItem> Workload::corpus(std::uint64_t seed) const {
+  return uniform_corpus(num_items(), seed);
+}
+
+// --- Composition ------------------------------------------------------------
+
+CompositeWorkload::CompositeWorkload(
+    std::vector<std::shared_ptr<const Workload>> children)
+    : children_(std::move(children)) {
+  assert(!children_.empty());
+  name_ = "composite(";
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    if (i > 0) name_ += '+';
+    name_ += children_[i]->name();
+  }
+  name_ += ')';
+}
+
+std::uint32_t CompositeWorkload::num_items() const {
+  std::uint32_t n = 0;
+  for (const auto& c : children_) n = std::max(n, c->num_items());
+  return n;
+}
+
+std::vector<WorkItem> CompositeWorkload::corpus(std::uint64_t seed) const {
+  // The widest child defines the item space; narrower children address a
+  // prefix of it.  (Don't compose scenarios with conflicting custom corpora
+  // -- the swarm keeps its own item space by being the widest child or by
+  // running alone.)
+  const Workload* widest = children_.front().get();
+  for (const auto& c : children_) {
+    if (c->num_items() > widest->num_items()) widest = c.get();
+  }
+  return widest->corpus(seed);
+}
+
+std::vector<Op> CompositeWorkload::generate(std::uint64_t seed) const {
+  std::vector<Op> out;
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    // Each child draws from its own forked seed, so adding a child never
+    // perturbs its siblings' streams.
+    const std::uint64_t child_seed = mix64(seed ^ (0xc0fefe + i));
+    out = merge_streams(std::move(out), children_[i]->generate(child_seed));
+  }
+  return out;
+}
+
+std::shared_ptr<const Workload> compose(std::shared_ptr<const Workload> a,
+                                        std::shared_ptr<const Workload> b) {
+  return std::make_shared<CompositeWorkload>(
+      std::vector<std::shared_ptr<const Workload>>{std::move(a),
+                                                   std::move(b)});
+}
+
+// --- Diurnal ---------------------------------------------------------------
+
+std::vector<Op> DiurnalWorkload::generate(std::uint64_t seed) const {
+  const Rng base(seed);
+
+  std::vector<Op> stores;
+  Rng store_rng = base.fork(1);
+  for (std::uint32_t i = 0; i < items; ++i) {
+    stores.push_back(Op{Op::Kind::kStore, Op::Origin::kAny,
+                        slot_time({}, store_window, i, items), i,
+                        pick32(store_rng)});
+  }
+
+  std::vector<Op> lookups;
+  Rng look_rng = base.fork(2);
+  const ZipfSampler zipf(items, zipf_exponent);
+  for (const sim::SimTime t : curve_times(curve, store_window, look_rng)) {
+    lookups.push_back(Op{Op::Kind::kLookup, Op::Origin::kAny, t,
+                         static_cast<std::uint32_t>(zipf.sample(look_rng)),
+                         pick32(look_rng)});
+  }
+
+  // Joins ride the morning ramp (second phase), leaves the evening decline
+  // (last phase).
+  sim::SimTime ramp_start = store_window;
+  sim::Duration ramp_len{};
+  sim::SimTime decline_start = store_window;
+  sim::Duration decline_len{};
+  if (curve.size() >= 2) {
+    ramp_start = store_window + curve[0].duration;
+    ramp_len = curve[1].duration;
+    decline_start = store_window;
+    for (std::size_t i = 0; i + 1 < curve.size(); ++i) {
+      decline_start += curve[i].duration;
+    }
+    decline_len = curve.back().duration;
+  }
+
+  std::vector<Op> churn;
+  Rng churn_rng = base.fork(3);
+  for (std::uint32_t i = 0; i < morning_joins; ++i) {
+    churn.push_back(Op{Op::Kind::kJoin, Op::Origin::kAny,
+                       slot_time(ramp_start, ramp_len, i, morning_joins), 0,
+                       pick32(churn_rng)});
+  }
+  for (std::uint32_t i = 0; i < evening_leaves; ++i) {
+    churn.push_back(Op{Op::Kind::kLeave, Op::Origin::kAny,
+                       slot_time(decline_start, decline_len, i, evening_leaves),
+                       0, pick32(churn_rng)});
+  }
+  std::stable_sort(churn.begin(), churn.end(), time_order);
+
+  return merge_streams(std::move(stores),
+                       merge_streams(std::move(lookups), std::move(churn)));
+}
+
+// --- Hot-key storm ----------------------------------------------------------
+
+std::vector<Op> HotKeyStormWorkload::generate(std::uint64_t seed) const {
+  const Rng base(seed);
+
+  std::vector<Op> stores;
+  Rng store_rng = base.fork(1);
+  for (std::uint32_t i = 0; i < items; ++i) {
+    stores.push_back(Op{Op::Kind::kStore, Op::Origin::kAny,
+                        slot_time({}, store_window, i, items), i,
+                        pick32(store_rng)});
+  }
+
+  // The hot key rotates: storms pick a fresh victim every `rotation`, so a
+  // cache warmed on the previous key is useless unless it re-warms fast.
+  // Which item is hot in rotation r is itself seeded, not sequential --
+  // adjacent corpus indices often share a segment.
+  std::vector<Op> lookups;
+  Rng look_rng = base.fork(2);
+  Rng rota_rng = base.fork(3);
+  const RateCurve storm{{horizon, per_second}};
+  std::uint64_t rotations =
+      static_cast<std::uint64_t>(horizon.as_micros()) /
+      static_cast<std::uint64_t>(std::max<std::int64_t>(1, rotation.as_micros()));
+  rotations += 1;
+  std::vector<std::uint32_t> hot_of_rotation;
+  hot_of_rotation.reserve(rotations);
+  for (std::uint64_t r = 0; r < rotations; ++r) {
+    hot_of_rotation.push_back(
+        static_cast<std::uint32_t>(rota_rng.index(items)));
+  }
+  for (const sim::SimTime t : curve_times(storm, storm_start, look_rng)) {
+    const std::uint64_t r =
+        static_cast<std::uint64_t>((t - storm_start).as_micros()) /
+        static_cast<std::uint64_t>(
+            std::max<std::int64_t>(1, rotation.as_micros()));
+    const std::uint32_t item =
+        look_rng.chance(hot_fraction)
+            ? hot_of_rotation[std::min<std::uint64_t>(r, rotations - 1)]
+            : static_cast<std::uint32_t>(look_rng.index(items));
+    lookups.push_back(
+        Op{Op::Kind::kLookup, Op::Origin::kAny, t, item, pick32(look_rng)});
+  }
+
+  return merge_streams(std::move(stores), std::move(lookups));
+}
+
+// --- Flash crowd ------------------------------------------------------------
+
+std::vector<Op> FlashCrowdWorkload::generate(std::uint64_t seed) const {
+  const Rng base(seed);
+
+  std::vector<Op> stores;
+  Rng store_rng = base.fork(1);
+  for (std::uint32_t i = 0; i < items; ++i) {
+    stores.push_back(Op{Op::Kind::kStore, Op::Origin::kAny,
+                        slot_time({}, store_window, i, items), i,
+                        pick32(store_rng)});
+  }
+
+  std::vector<Op> quiet;
+  Rng quiet_rng = base.fork(2);
+  for (const sim::SimTime t :
+       curve_times(baseline, store_window, quiet_rng)) {
+    quiet.push_back(Op{Op::Kind::kLookup, Op::Origin::kAny, t,
+                       static_cast<std::uint32_t>(quiet_rng.index(items)),
+                       pick32(quiet_rng)});
+  }
+
+  sim::SimTime burst_start = store_window;
+  for (const RatePhase& phase : baseline) burst_start += phase.duration;
+
+  // The burst: joins tagged kRecentJoin so the runner aims them all at one
+  // segment (single shared interest), then the crowd itself issues the
+  // lookups -- fresh peers with cold caches hammering a handful of items.
+  std::vector<Op> burst;
+  Rng burst_rng = base.fork(3);
+  for (std::uint32_t i = 0; i < burst_joins; ++i) {
+    burst.push_back(Op{Op::Kind::kJoin, Op::Origin::kRecentJoin,
+                       slot_time(burst_start, burst_window, i, burst_joins), 0,
+                       pick32(burst_rng)});
+  }
+  const std::uint32_t wanted = std::max(1u, std::min(crowd_items, items));
+  for (const sim::SimTime t :
+       curve_times(crowd, burst_start + crowd_delay, burst_rng)) {
+    burst.push_back(Op{Op::Kind::kLookup, Op::Origin::kRecentJoin, t,
+                       static_cast<std::uint32_t>(burst_rng.index(wanted)),
+                       pick32(burst_rng)});
+  }
+  std::stable_sort(burst.begin(), burst.end(), time_order);
+
+  return merge_streams(std::move(stores),
+                       merge_streams(std::move(quiet), std::move(burst)));
+}
+
+// --- Content swarm ----------------------------------------------------------
+
+std::string SwarmWorkload::piece_payload(std::uint64_t seed,
+                                         std::uint32_t index) {
+  // 64 bytes of seeded pseudo-content rendered as hex, so corrupting any
+  // byte changes the FNV-1a digest the leechers verify against.
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string payload;
+  payload.reserve(64);
+  for (std::uint32_t word = 0; word < 4; ++word) {
+    std::uint64_t v = mix64(seed ^ (std::uint64_t{index} << 8) ^ word);
+    for (int nibble = 0; nibble < 16; ++nibble) {
+      payload.push_back(kHex[v & 0xf]);
+      v >>= 4;
+    }
+  }
+  return payload;
+}
+
+std::uint64_t SwarmWorkload::piece_hash(std::uint64_t seed,
+                                        std::uint32_t index) {
+  return fnv1a64(piece_payload(seed, index));
+}
+
+std::vector<WorkItem> SwarmWorkload::corpus(std::uint64_t seed) const {
+  // Content-addressed corpus: the stored value IS the integrity hash, so a
+  // lookup's LookupResult::value can be checked against a recomputed
+  // piece_hash without trusting anything the overlay returned.
+  std::vector<WorkItem> out;
+  out.reserve(pieces);
+  for (std::uint32_t i = 0; i < pieces; ++i) {
+    WorkItem item;
+    item.key = "piece-" + std::to_string(i);
+    item.id = hash_key(item.key);
+    item.value = piece_hash(seed, i);
+    out.push_back(std::move(item));
+  }
+  return out;
+}
+
+std::vector<Op> SwarmWorkload::generate(std::uint64_t seed) const {
+  assert(seeders >= 2);
+  const Rng base(seed);
+
+  // Seeding: every piece announced by two distinct seeders, so the tracker
+  // index has an alternate holder when one seeder (or the tracker itself)
+  // dies mid-swarm.  pick identifies the seeder; the runner maps equal
+  // picks to the same peer.
+  std::vector<Op> stores;
+  Rng seed_rng = base.fork(1);
+  const std::uint32_t total_stores = pieces * 2;
+  for (std::uint32_t i = 0; i < pieces; ++i) {
+    const auto s1 = static_cast<std::uint32_t>(seed_rng.index(seeders));
+    const auto s2 = static_cast<std::uint32_t>(
+        (s1 + 1 + seed_rng.index(seeders - 1)) % seeders);
+    stores.push_back(Op{Op::Kind::kStore, Op::Origin::kAny,
+                        slot_time({}, seed_window, 2 * i, total_stores), i,
+                        s1});
+    stores.push_back(Op{Op::Kind::kStore, Op::Origin::kAny,
+                        slot_time({}, seed_window, 2 * i + 1, total_stores), i,
+                        s2});
+  }
+
+  // Download phase: each leecher fetches every piece in its own seeded
+  // order (rarest-first stands in for "not sequential"), leechers
+  // interleaved across the window.
+  std::vector<Op> downloads;
+  const std::uint32_t total_fetches = leechers * pieces;
+  for (std::uint32_t l = 0; l < leechers; ++l) {
+    Rng order_rng = base.fork(0x1000 + l);
+    std::vector<std::uint32_t> order(pieces);
+    for (std::uint32_t i = 0; i < pieces; ++i) order[i] = i;
+    order_rng.shuffle(order);
+    for (std::uint32_t k = 0; k < pieces; ++k) {
+      downloads.push_back(Op{Op::Kind::kLookup, Op::Origin::kAny,
+                             slot_time(download_start, download_window,
+                                       k * leechers + l, total_fetches),
+                             order[k], seeders + l});
+    }
+  }
+  std::stable_sort(downloads.begin(), downloads.end(), time_order);
+
+  return merge_streams(std::move(stores), std::move(downloads));
+}
+
+}  // namespace hp2p::workload

@@ -1,0 +1,191 @@
+// Composable production-traffic scenarios (ROADMAP item 4).
+//
+// A Workload is a pure function seed -> op stream: timed store / lookup /
+// join / leave events with per-phase rate curves.  Streams are plain data,
+// so they compose by stable time-ordered merge and serialize to a canonical
+// text form -- the property tests assert byte-identical same-seed streams
+// and order-stable composition.  The scenario runner (scenario_runner.hpp)
+// executes a stream against a live HybridSystem under an optional chaos
+// schedule with the MUST/MAY oracle watching every lookup.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/time.hpp"
+#include "workload/workload.hpp"
+
+namespace hp2p::workload {
+
+/// One timed operation of a scenario.
+struct Op {
+  enum class Kind : std::uint8_t { kStore, kLookup, kJoin, kLeave };
+  /// How the runner picks the acting peer: any live peer, or one of the
+  /// peers this workload itself joined (flash crowds look up content from
+  /// the crowd, not from the settled population).
+  enum class Origin : std::uint8_t { kAny, kRecentJoin };
+
+  Kind kind = Kind::kLookup;
+  Origin origin = Origin::kAny;
+  sim::SimTime at{};        // relative to the scenario's op window start
+  std::uint32_t item = 0;   // corpus index (store/lookup only)
+  std::uint32_t pick = 0;   // deterministic actor/victim selector
+
+  friend bool operator==(const Op&, const Op&) = default;
+};
+
+/// One segment of a piecewise-constant rate curve.
+struct RatePhase {
+  sim::Duration duration{};
+  double per_second = 0.0;
+};
+using RateCurve = std::vector<RatePhase>;
+
+/// Deterministic event times following `curve` from `start`: evenly spaced
+/// within each phase with a small seeded jitter (so ops do not all collide
+/// on phase boundaries), strictly sorted.
+[[nodiscard]] std::vector<sim::SimTime> curve_times(const RateCurve& curve,
+                                                    sim::SimTime start,
+                                                    Rng& rng);
+
+/// Canonical text form of a stream, one op per line; byte-identical iff the
+/// streams are equal (the repro-test serialization).
+[[nodiscard]] std::string dump_stream(const std::vector<Op>& ops);
+
+/// Stable time-ordered merge: ops keep their relative order within each
+/// input, and `a` wins ties -- composition is order-stable.
+[[nodiscard]] std::vector<Op> merge_streams(std::vector<Op> a,
+                                            std::vector<Op> b);
+
+/// A deterministic op-stream generator.  Everything is a pure function of
+/// the seed: generate(s) twice returns byte-identical streams.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+  [[nodiscard]] virtual const char* name() const = 0;
+  /// Number of distinct corpus items the stream's `item` indices address.
+  [[nodiscard]] virtual std::uint32_t num_items() const = 0;
+  /// The items themselves.  Default: the uniform corpus.  Scenarios with
+  /// content-addressed payloads (the swarm's hash-verified pieces)
+  /// override this.
+  [[nodiscard]] virtual std::vector<WorkItem> corpus(
+      std::uint64_t seed) const;
+  /// The op stream, sorted by `at`.
+  [[nodiscard]] virtual std::vector<Op> generate(std::uint64_t seed) const = 0;
+};
+
+/// Composition combinator: the merged stream of all children, each child
+/// generating from its own forked seed.  Ties preserve child order, so
+/// compose(a, b) is stable and deterministic.
+class CompositeWorkload final : public Workload {
+ public:
+  explicit CompositeWorkload(
+      std::vector<std::shared_ptr<const Workload>> children);
+
+  [[nodiscard]] const char* name() const override { return name_.c_str(); }
+  [[nodiscard]] std::uint32_t num_items() const override;
+  [[nodiscard]] std::vector<WorkItem> corpus(std::uint64_t seed) const override;
+  [[nodiscard]] std::vector<Op> generate(std::uint64_t seed) const override;
+
+ private:
+  std::vector<std::shared_ptr<const Workload>> children_;
+  std::string name_;
+};
+
+[[nodiscard]] std::shared_ptr<const Workload> compose(
+    std::shared_ptr<const Workload> a, std::shared_ptr<const Workload> b);
+
+// --- Concrete scenarios ------------------------------------------------------------
+
+/// Diurnal load: lookups follow a night/ramp/peak/decline rate curve over a
+/// Zipf-popular corpus; peers join through the morning ramp and leave
+/// through the evening decline.
+class DiurnalWorkload final : public Workload {
+ public:
+  std::uint32_t items = 120;
+  sim::Duration store_window = sim::SimTime::seconds(10);
+  RateCurve curve{{sim::SimTime::seconds(20), 2.0},    // night
+                  {sim::SimTime::seconds(20), 8.0},    // morning ramp
+                  {sim::SimTime::seconds(30), 20.0},   // midday peak
+                  {sim::SimTime::seconds(20), 6.0}};   // evening decline
+  double zipf_exponent = 0.9;
+  std::uint32_t morning_joins = 10;
+  std::uint32_t evening_leaves = 8;
+
+  [[nodiscard]] const char* name() const override { return "diurnal"; }
+  [[nodiscard]] std::uint32_t num_items() const override { return items; }
+  [[nodiscard]] std::vector<Op> generate(std::uint64_t seed) const override;
+};
+
+/// Hot-key storm with key churn: a high constant lookup rate concentrates
+/// on one "hot" item that rotates every `rotation` (the adversarial sequel
+/// to the Section 7 cache ablation -- without caching, each rotation's
+/// holder melts in turn).
+class HotKeyStormWorkload final : public Workload {
+ public:
+  std::uint32_t items = 64;
+  sim::Duration store_window = sim::SimTime::seconds(5);
+  sim::Duration storm_start = sim::SimTime::seconds(8);
+  sim::Duration horizon = sim::SimTime::seconds(60);
+  sim::Duration rotation = sim::SimTime::seconds(10);
+  double per_second = 40.0;
+  double hot_fraction = 0.9;
+
+  [[nodiscard]] const char* name() const override { return "hot_key_storm"; }
+  [[nodiscard]] std::uint32_t num_items() const override { return items; }
+  [[nodiscard]] std::vector<Op> generate(std::uint64_t seed) const override;
+};
+
+/// Flash crowd: a quiet baseline, then a burst of joins aimed at a single
+/// segment (the runner tags the joiners with one interest so they pile
+/// into one s-network), followed by the crowd hammering a handful of items
+/// from the newly joined peers.
+class FlashCrowdWorkload final : public Workload {
+ public:
+  std::uint32_t items = 40;
+  std::uint32_t crowd_items = 4;   // what the crowd is actually after
+  sim::Duration store_window = sim::SimTime::seconds(5);
+  RateCurve baseline{{sim::SimTime::seconds(20), 2.0}};
+  std::uint32_t burst_joins = 25;
+  sim::Duration burst_window = sim::SimTime::seconds(3);
+  sim::Duration crowd_delay = sim::SimTime::seconds(3);
+  RateCurve crowd{{sim::SimTime::seconds(25), 30.0}};
+
+  [[nodiscard]] const char* name() const override { return "flash_crowd"; }
+  [[nodiscard]] std::uint32_t num_items() const override { return items; }
+  [[nodiscard]] std::vector<Op> generate(std::uint64_t seed) const override;
+};
+
+/// BitTorrent-style content swarm over tracker-mode s-networks: a content
+/// of `pieces` hash-verified pieces is seeded by `seeders` peers (two
+/// copies each, so the tracker can hand out alternates), then `leechers`
+/// peers each download every piece in their own seeded order.  The runner
+/// checks each returned LookupResult::value against the expected piece
+/// hash (end-to-end integrity) and a chaos schedule typically crashes the
+/// trackers mid-swarm to exercise index-rebuild failover.
+class SwarmWorkload final : public Workload {
+ public:
+  std::uint32_t pieces = 48;
+  std::uint32_t seeders = 4;
+  std::uint32_t leechers = 12;
+  sim::Duration seed_window = sim::SimTime::seconds(10);
+  sim::Duration download_start = sim::SimTime::seconds(15);
+  sim::Duration download_window = sim::SimTime::seconds(60);
+
+  /// Deterministic pseudo-content of piece `index` (content-addressed by
+  /// the corpus seed) and its FNV-1a integrity hash.
+  [[nodiscard]] static std::string piece_payload(std::uint64_t seed,
+                                                 std::uint32_t index);
+  [[nodiscard]] static std::uint64_t piece_hash(std::uint64_t seed,
+                                                std::uint32_t index);
+
+  [[nodiscard]] const char* name() const override { return "content_swarm"; }
+  [[nodiscard]] std::uint32_t num_items() const override { return pieces; }
+  [[nodiscard]] std::vector<WorkItem> corpus(std::uint64_t seed) const override;
+  [[nodiscard]] std::vector<Op> generate(std::uint64_t seed) const override;
+};
+
+}  // namespace hp2p::workload

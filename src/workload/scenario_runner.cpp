@@ -1,0 +1,587 @@
+#include "workload/scenario_runner.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "audit/overlay_auditor.hpp"
+#include "chaos/fault_engine.hpp"
+#include "chaos/reference_model.hpp"
+#include "common/env.hpp"
+#include "hybrid/hybrid_system.hpp"
+#include "net/transit_stub.hpp"
+#include "net/underlay.hpp"
+#include "proto/overlay_network.hpp"
+#include "sim/simulator.hpp"
+#include "sim/tie_break.hpp"
+
+namespace hp2p::workload {
+
+namespace {
+
+/// Interest tag given to kRecentJoin joiners, so an interest-based server
+/// anchors the whole crowd into one s-network.
+constexpr std::uint32_t kCrowdInterest = 7;
+
+struct ScenLookup {
+  std::uint32_t item = 0;
+  DataId id{};
+  PeerIndex origin = kNoPeer;
+  bool issued = false;
+  bool must_at_issue = false;
+  bool done = false;
+  bool success = false;
+  std::uint64_t value = 0;
+  sim::SimTime latency{};
+};
+
+std::vector<PeerIndex> live_nonserver_peers(
+    const hybrid::HybridSystem& system) {
+  std::vector<PeerIndex> out;
+  for (std::size_t i = 0; i < system.num_peers(); ++i) {
+    const PeerIndex p{static_cast<std::uint32_t>(i)};
+    if (system.is_server_peer(p) || !system.is_alive(p) ||
+        !system.is_joined(p)) {
+      continue;
+    }
+    out.push_back(p);
+  }
+  return out;
+}
+
+/// Deterministic actor resolution: start at pick % size and walk forward to
+/// the first usable peer, so equal picks keep naming the same peer for as
+/// long as it lives (the swarm relies on this for stable seeder/leecher
+/// identities).
+PeerIndex resolve_actor(const hybrid::HybridSystem& system,
+                        const std::vector<PeerIndex>& pool,
+                        std::uint32_t pick) {
+  if (pool.empty()) return kNoPeer;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    const PeerIndex p = pool[(pick + i) % pool.size()];
+    if (system.is_alive(p) && system.is_joined(p) && !system.is_leaving(p)) {
+      return p;
+    }
+  }
+  return kNoPeer;
+}
+
+void add_violation(ScenarioReport& report, const ScenarioConfig& cfg,
+                   sim::SimTime at, const char* kind, std::string detail,
+                   std::uint64_t a = 0, std::uint64_t b = 0) {
+  if (cfg.flight != nullptr) {
+    cfg.flight->record(at, "scenario_violation", a, b,
+                       report.violations.size());
+  }
+  report.violations.push_back(
+      chaos::ChaosViolation{kind, std::move(detail), a, b});
+}
+
+}  // namespace
+
+stats::JsonValue ScenarioReport::to_json() const {
+  auto v = stats::JsonValue::object();
+  v.set("scenario", scenario);
+  v.set("seed", static_cast<std::int64_t>(seed));
+  v.set("ops", static_cast<std::int64_t>(ops));
+  v.set("stores", static_cast<std::int64_t>(stores));
+  v.set("lookups_issued", static_cast<std::int64_t>(lookups_issued));
+  v.set("lookups_succeeded", static_cast<std::int64_t>(lookups_succeeded));
+  v.set("lookups_failed", static_cast<std::int64_t>(lookups_failed));
+  v.set("retries", static_cast<std::int64_t>(retries));
+  v.set("joins", static_cast<std::int64_t>(joins));
+  v.set("leaves", static_cast<std::int64_t>(leaves));
+  v.set("ops_skipped", static_cast<std::int64_t>(ops_skipped));
+  v.set("crashes", static_cast<std::int64_t>(crashes));
+  v.set("chaos_joins", static_cast<std::int64_t>(chaos_joins));
+  v.set("must_failed", static_cast<std::int64_t>(must_failed));
+  v.set("wave_must_issued", static_cast<std::int64_t>(wave_must_issued));
+  v.set("wave_may_issued", static_cast<std::int64_t>(wave_may_issued));
+  v.set("wave_must_failed", static_cast<std::int64_t>(wave_must_failed));
+  v.set("value_mismatches", static_cast<std::int64_t>(value_mismatches));
+  v.set("audit_violations", static_cast<std::int64_t>(audit_violations));
+  v.set("ring_ok", ring_ok);
+  v.set("trees_ok", trees_ok);
+  v.set("availability", availability);
+  v.set("mean_latency_ms", mean_latency_ms);
+  v.set("max_peer_load", static_cast<std::int64_t>(max_peer_load));
+  v.set("mean_peer_load", mean_peer_load);
+  v.set("load_skew", load_skew);
+  v.set("cache_hits", static_cast<std::int64_t>(cache_hits));
+  auto arr = stats::JsonValue::array();
+  for (const chaos::ChaosViolation& viol : violations) {
+    arr.push_back(viol.to_json());
+  }
+  v.set("violations", std::move(arr));
+  return v;
+}
+
+ScenarioReport run_scenario(const ScenarioConfig& cfg) {
+  ScenarioReport report;
+  report.seed = cfg.seed;
+  report.scenario = cfg.workload != nullptr ? cfg.workload->name() : "?";
+  if (cfg.workload == nullptr) {
+    add_violation(report, cfg, {}, "config_error", "no workload set");
+    return report;
+  }
+
+  Rng rng(cfg.seed);
+  sim::Simulator sim;
+
+  // Same optional shuffled tie-break as the chaos runner, so scenario runs
+  // can be order-fuzzed from the environment without recompiling.
+  std::unique_ptr<sim::ShuffleTieBreak> shuffler;
+  {
+    const std::string spec = cfg.tie_break.empty()
+                                 ? env_or("HP2P_TIEBREAK", "")
+                                 : cfg.tie_break;
+    constexpr const char* kPrefix = "shuffle:";
+    if (spec.rfind(kPrefix, 0) == 0) {
+      const std::uint64_t tb_seed = std::strtoull(
+          spec.c_str() + std::string(kPrefix).size(), nullptr, 10);
+      shuffler = std::make_unique<sim::ShuffleTieBreak>(tb_seed);
+      sim.set_tie_break_policy(shuffler.get());
+    }
+  }
+
+  net::Underlay underlay(
+      net::generate_transit_stub(
+          net::TransitStubParams::for_total_nodes(cfg.hosts), rng),
+      rng);
+  proto::OverlayNetwork network(sim, underlay, {});
+  hybrid::HybridSystem system(network, cfg.params, HostIndex{0}, rng);
+
+  // --- Population (same staging as the chaos runner). ---------------------
+  std::uint32_t host_cursor = 0;
+  const auto next_host = [&] {
+    const HostIndex h{1 + host_cursor % (underlay.num_hosts() - 1)};
+    ++host_cursor;
+    return h;
+  };
+  const auto num_t = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(
+             std::lround((1.0 - cfg.ps) * cfg.num_peers)));
+  for (std::uint32_t i = 0; i < cfg.num_peers; ++i) {
+    const auto role = i < num_t ? hybrid::Role::kTPeer : hybrid::Role::kSPeer;
+    const HostIndex host = next_host();
+    sim.schedule_at(sim::SimTime::millis(40 * (i + 1)), [&system, host, role] {
+      system.add_peer_with_role(host, role);
+    });
+  }
+  sim.run();
+
+  chaos::ReferenceModel model(system);
+  const auto corpus = cfg.workload->corpus(cfg.seed);
+  const auto ops = cfg.workload->generate(cfg.seed);
+  report.ops = static_cast<std::uint32_t>(ops.size());
+
+  // Strict pre-flight audit on the quiescent freshly built overlay.
+  {
+    audit::AuditOptions opts;
+    opts.strict = true;
+    audit::OverlayAuditor pre(system, network, sim, opts);
+    for (const auto& v : pre.run().violations) {
+      add_violation(report, cfg, sim.now(), "audit_pre",
+                    std::string(v.invariant) + ": expected " + v.expected +
+                        ", got " + v.actual + " (" + v.detail + ")",
+                    v.peer.value());
+    }
+  }
+
+  system.start_failure_detection();
+
+  // --- Op window: workload stream + shifted chaos schedule. ---------------
+  const sim::SimTime t0 = sim.now() + sim::SimTime::seconds(1);
+  const sim::SimTime stream_end =
+      t0 + (ops.empty() ? sim::SimTime{} : ops.back().at);
+
+  chaos::FaultSchedule shifted = cfg.schedule;
+  for (chaos::FaultPhase& phase : shifted.phases) phase.start += t0;
+  chaos::FaultScheduleEngine engine(sim, network, system, shifted,
+                                    cfg.flight);
+  engine.arm(next_host);
+
+  const std::vector<PeerIndex> base_actors = live_nonserver_peers(system);
+  std::vector<PeerIndex> recent_joins;
+
+  std::vector<ScenLookup> lookups;
+  lookups.reserve(static_cast<std::size_t>(
+      std::count_if(ops.begin(), ops.end(), [](const Op& op) {
+        return op.kind == Op::Kind::kLookup;
+      })));
+
+  const sim::SimTime window_end =
+      std::max(stream_end, shifted.end()) + cfg.settle;
+
+  // Issues one lookup attempt for `slot`; on failure, reissues up to
+  // cfg.lookup_retries times after cfg.retry_backoff, from an origin shifted
+  // by the attempt number (a client whose own attachment is severed must not
+  // just retry through itself).  must_at_issue is pinned at the FIRST
+  // attempt; success/latency reflect the final one.
+  std::function<void(ScenLookup*, Op::Origin, std::uint32_t, std::uint32_t)>
+      issue_lookup;
+  issue_lookup = [&](ScenLookup* slot, Op::Origin origin_kind,
+                     std::uint32_t pick, std::uint32_t attempt) {
+    const std::vector<PeerIndex>& pool =
+        origin_kind == Op::Origin::kRecentJoin && !recent_joins.empty()
+            ? recent_joins
+            : base_actors;
+    const PeerIndex origin = resolve_actor(system, pool, pick + attempt);
+    if (origin == kNoPeer) {
+      if (!slot->issued) {
+        ++report.ops_skipped;
+      } else {
+        slot->done = true;  // retried into a dead pool: final failure
+      }
+      return;
+    }
+    if (!slot->issued) {
+      slot->issued = true;
+      // MUST at issue only requires the data to be live; transient damage
+      // the hardening must ride out is judged post-hoc.
+      slot->must_at_issue = !model.live_holders(slot->id).empty();
+    }
+    slot->origin = origin;
+    system.lookup_id(
+        origin, slot->id,
+        [&, slot, origin_kind, pick, attempt](proto::LookupResult r) {
+          const bool can_retry =
+              attempt < cfg.lookup_retries &&
+              sim.now() + cfg.retry_backoff + cfg.params.lookup_timeout <
+                  window_end;
+          if (!r.success && can_retry) {
+            ++report.retries;
+            sim.schedule_at(sim.now() + cfg.retry_backoff,
+                            [&, slot, origin_kind, pick, attempt] {
+                              issue_lookup(slot, origin_kind, pick,
+                                           attempt + 1);
+                            });
+            return;
+          }
+          slot->done = true;
+          slot->success = r.success;
+          slot->value = r.value;
+          slot->latency = r.latency;
+        });
+  };
+
+  for (const Op& op : ops) {
+    const sim::SimTime at = t0 + op.at;
+    switch (op.kind) {
+      case Op::Kind::kStore: {
+        const WorkItem* item = &corpus[op.item % corpus.size()];
+        const std::uint32_t pick = op.pick;
+        sim.schedule_at(at, [&, item, pick] {
+          const PeerIndex origin = resolve_actor(system, base_actors, pick);
+          if (origin == kNoPeer) {
+            ++report.ops_skipped;
+            return;
+          }
+          system.store_id(origin, item->id, item->key, item->value);
+          model.record_store(item->id, origin);
+          ++report.stores;
+        });
+        break;
+      }
+      case Op::Kind::kLookup: {
+        lookups.push_back(ScenLookup{});
+        ScenLookup* slot = &lookups.back();
+        slot->item = op.item % static_cast<std::uint32_t>(corpus.size());
+        slot->id = corpus[slot->item].id;
+        const Op::Origin origin_kind = op.origin;
+        const std::uint32_t pick = op.pick;
+        sim.schedule_at(at, [&, slot, origin_kind, pick] {
+          issue_lookup(slot, origin_kind, pick, 0);
+        });
+        break;
+      }
+      case Op::Kind::kJoin: {
+        const bool targeted = op.origin == Op::Origin::kRecentJoin;
+        sim.schedule_at(at, [&, targeted] {
+          const HostIndex host = next_host();
+          // Joiners enter the recent pool immediately; resolve_actor skips
+          // them until the join protocol flips `joined`, so a pre-completion
+          // lookup just falls forward to an older crowd member.
+          const PeerIndex p =
+              targeted ? system.add_peer_with_interest(
+                             host, hybrid::Role::kSPeer, kCrowdInterest)
+                       : system.add_peer_with_role(host, hybrid::Role::kSPeer);
+          recent_joins.push_back(p);
+          ++report.joins;
+        });
+        break;
+      }
+      case Op::Kind::kLeave: {
+        const std::uint32_t pick = op.pick;
+        sim.schedule_at(at, [&, pick] {
+          std::vector<PeerIndex> victims;
+          for (const PeerIndex p : system.live_peers()) {
+            if (system.is_server_peer(p) || system.is_leaving(p) ||
+                system.is_joining(p) ||
+                system.role_of(p) != hybrid::Role::kSPeer) {
+              continue;
+            }
+            victims.push_back(p);
+          }
+          const PeerIndex victim = resolve_actor(system, victims, pick);
+          if (victim == kNoPeer) {
+            ++report.ops_skipped;
+            return;
+          }
+          system.leave(victim);
+          ++report.leaves;
+        });
+        break;
+      }
+    }
+  }
+
+  // Lenient periodic audits while the scenario runs: any violation a
+  // lenient pass reports is real corruption, not transient churn.
+  {
+    audit::OverlayAuditor mid(system, network, sim, audit::AuditOptions{});
+    if (cfg.audit_period > sim::Duration{}) {
+      mid.set_period(cfg.audit_period);
+      mid.ensure_running();
+    }
+
+    sim.run_until(window_end);
+    engine.disarm();
+
+    if (mid.total_violations() > 0) {
+      for (const auto& v : mid.last_failing_report().violations) {
+        add_violation(report, cfg, sim.now(), "audit_mid",
+                      std::string(v.invariant) + ": expected " + v.expected +
+                        ", got " + v.actual + " (" + v.detail + ")",
+                      v.peer.value());
+      }
+    }
+  }
+  report.crashes = engine.crashes_applied();
+  report.chaos_joins = engine.joins_applied();
+
+  // --- Quiescent verdicts. -------------------------------------------------
+  report.ring_ok = system.verify_ring();
+  report.trees_ok = system.verify_trees();
+  if (!report.ring_ok) {
+    add_violation(report, cfg, sim.now(), "ring_broken",
+                  "verify_ring() failed after settle");
+  }
+  if (!report.trees_ok) {
+    add_violation(report, cfg, sim.now(), "trees_broken",
+                  "verify_trees() failed after settle");
+  }
+  {
+    audit::AuditOptions opts;
+    opts.strict = true;
+    audit::OverlayAuditor post(system, network, sim, opts);
+    const auto rep = post.run();
+    report.audit_violations = static_cast<std::uint32_t>(
+        rep.violations.size());
+    for (const auto& v : rep.violations) {
+      add_violation(report, cfg, sim.now(), "audit",
+                    std::string(v.invariant) + ": expected " + v.expected +
+                        ", got " + v.actual + " (" + v.detail + ")",
+                    v.peer.value());
+    }
+  }
+
+  double latency_sum_ms = 0;
+  for (const ScenLookup& s : lookups) {
+    if (!s.issued) continue;
+    ++report.lookups_issued;
+    if (!s.done) {
+      add_violation(report, cfg, sim.now(), "lookup_wedged",
+                    "scenario lookup never completed", s.id.value(),
+                    s.origin.value());
+      continue;
+    }
+    if (s.success) {
+      ++report.lookups_succeeded;
+      latency_sum_ms += s.latency.as_millis();
+      if (cfg.verify_values && s.value != corpus[s.item].value) {
+        ++report.value_mismatches;
+        add_violation(report, cfg, sim.now(), "value_mismatch",
+                      "lookup returned wrong content for " +
+                          corpus[s.item].key,
+                      s.id.value(), s.origin.value());
+      }
+      continue;
+    }
+    ++report.lookups_failed;
+    if (s.must_at_issue && model.classify(s.origin, s.id).must) {
+      ++report.must_failed;
+      add_violation(report, cfg, sim.now(), "scenario_must_failed",
+                    "scenario lookup failed; oracle says MUST at issue and "
+                    "after recovery",
+                    s.id.value(), s.origin.value());
+    }
+  }
+  report.availability =
+      report.lookups_issued == 0
+          ? 1.0
+          : static_cast<double>(report.lookups_succeeded) /
+                static_cast<double>(report.lookups_issued);
+  report.mean_latency_ms =
+      report.lookups_succeeded == 0
+          ? 0.0
+          : latency_sum_ms / static_cast<double>(report.lookups_succeeded);
+
+  // --- Quiescent MUST/MAY wave over every stored item. ---------------------
+  if (cfg.final_wave) {
+    struct WaveLookup {
+      chaos::Expectation exp;
+      DataId id{};
+      PeerIndex origin = kNoPeer;
+      bool done = false;
+      bool success = false;
+    };
+    auto wave = std::make_shared<std::vector<WaveLookup>>();
+    wave->reserve(model.stores().size());
+    for (const auto& [id, origin] : model.stores()) {
+      const std::size_t slot = wave->size();
+      wave->push_back(
+          WaveLookup{model.classify(origin, DataId{id}), DataId{id}, origin});
+      system.lookup_id(origin, DataId{id},
+                       [wave, slot](proto::LookupResult r) {
+                         (*wave)[slot].done = true;
+                         (*wave)[slot].success = r.success;
+                       });
+    }
+    sim.run_until(sim.now() + cfg.params.lookup_timeout +
+                  sim::SimTime::seconds(5));
+    for (const WaveLookup& w : *wave) {
+      if (w.exp.must) {
+        ++report.wave_must_issued;
+      } else {
+        ++report.wave_may_issued;
+      }
+      if (!w.done) {
+        add_violation(report, cfg, sim.now(), "lookup_wedged",
+                      "oracle-wave lookup never completed", w.id.value(),
+                      w.origin.value());
+        continue;
+      }
+      if (w.success || !w.exp.must) continue;
+      ++report.wave_must_failed;
+      add_violation(report, cfg, sim.now(), "must_lookup_failed",
+                    std::string("MUST lookup failed (") + w.exp.reason + ")",
+                    w.id.value(), w.origin.value());
+    }
+    if (system.pending_lookups() != 0) {
+      add_violation(report, cfg, sim.now(), "lookup_wedged",
+                    "pending_lookups() != 0 after the wave deadline",
+                    system.pending_lookups());
+    }
+  }
+
+  // --- Load metrics. --------------------------------------------------------
+  report.max_peer_load = system.max_answers_served();
+  report.cache_hits = system.cache_hits();
+  {
+    std::uint64_t total = 0;
+    std::uint64_t counted = 0;
+    for (std::size_t i = 0; i < system.num_peers(); ++i) {
+      const PeerIndex p{static_cast<std::uint32_t>(i)};
+      if (system.is_server_peer(p)) continue;
+      total += system.answers_served(p);
+      ++counted;
+    }
+    report.mean_peer_load =
+        counted == 0 ? 0.0
+                     : static_cast<double>(total) /
+                           static_cast<double>(counted);
+    report.load_skew =
+        report.mean_peer_load <= 0.0
+            ? 0.0
+            : static_cast<double>(report.max_peer_load) /
+                  report.mean_peer_load;
+  }
+
+  return report;
+}
+
+// --- Named presets -----------------------------------------------------------
+
+ScenarioConfig diurnal_scenario(std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.workload = std::make_shared<DiurnalWorkload>();
+  cfg.schedule.seed = seed;
+  cfg.schedule.phases = {
+      // A crash storm through the midday peak plus a short loss burst: the
+      // availability claim has to hold when load and churn coincide.
+      chaos::FaultPhase{.kind = chaos::FaultKind::kSPeerCrashStorm,
+                        .start = sim::SimTime::seconds(45),
+                        .duration = sim::SimTime::seconds(20),
+                        .count = 4},
+      chaos::FaultPhase{.kind = chaos::FaultKind::kLossBurst,
+                        .start = sim::SimTime::seconds(50),
+                        .duration = sim::SimTime::seconds(10),
+                        .intensity = 0.05},
+  };
+  return cfg;
+}
+
+ScenarioConfig hot_key_storm_scenario(std::uint64_t seed, bool caching) {
+  ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.workload = std::make_shared<HotKeyStormWorkload>();
+  cfg.params.enable_caching = caching;
+  cfg.schedule.seed = seed;
+  cfg.schedule.phases = {
+      chaos::FaultPhase{.kind = chaos::FaultKind::kLatencyStorm,
+                        .start = sim::SimTime::seconds(20),
+                        .duration = sim::SimTime::seconds(15),
+                        .intensity = 2.0},
+      chaos::FaultPhase{.kind = chaos::FaultKind::kSPeerCrashStorm,
+                        .start = sim::SimTime::seconds(40),
+                        .duration = sim::SimTime::seconds(10),
+                        .count = 3},
+  };
+  return cfg;
+}
+
+ScenarioConfig flash_crowd_scenario(std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.workload = std::make_shared<FlashCrowdWorkload>();
+  // Interest-based assignment makes the tagged crowd pile into one
+  // s-network -- the point of the scenario.
+  cfg.params.interest_based = true;
+  cfg.schedule.seed = seed;
+  cfg.schedule.phases = {
+      chaos::FaultPhase{.kind = chaos::FaultKind::kLossBurst,
+                        .start = sim::SimTime::seconds(26),
+                        .duration = sim::SimTime::seconds(8),
+                        .intensity = 0.05},
+      chaos::FaultPhase{.kind = chaos::FaultKind::kSPeerCrashStorm,
+                        .start = sim::SimTime::seconds(40),
+                        .duration = sim::SimTime::seconds(8),
+                        .count = 2},
+  };
+  return cfg;
+}
+
+ScenarioConfig swarm_scenario(std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.workload = std::make_shared<SwarmWorkload>();
+  cfg.params.style = hybrid::SNetworkStyle::kBitTorrent;
+  cfg.ps = 0.8;  // few trackers, many members
+  cfg.verify_values = true;
+  cfg.schedule.seed = seed;
+  cfg.schedule.phases = {
+      // Crash trackers mid-download: the re-announce failover must rebuild
+      // the holder index before the swarm's lookups time out.
+      chaos::FaultPhase{.kind = chaos::FaultKind::kTPeerCrashStorm,
+                        .start = sim::SimTime::seconds(25),
+                        .duration = sim::SimTime::seconds(10),
+                        .count = 2},
+  };
+  return cfg;
+}
+
+}  // namespace hp2p::workload

@@ -13,6 +13,12 @@
 //     dispatch_ns_total > 0) plus the collapsed-stack file in the exact
 //     format flamegraph.pl / speedscope consume ("frame(;frame)* <int>").
 //     Used by the profile_validate ctest entry.
+//
+//   bench_schema_check --scenarios <BENCH_scenarios.json>
+//     Scenario-suite run: schema-v5 report whose `scenarios` array carries
+//     at least one ScenarioReport object with the headline fields
+//     (scenario/availability/max_peer_load/must_failed/violations) and no
+//     oracle violations.  Used by the scenarios_validate ctest entry.
 #include <cctype>
 #include <cstdio>
 #include <fstream>
@@ -38,7 +44,7 @@ std::optional<JsonValue> load(const std::string& path) {
   return JsonValue::parse(buf.str());
 }
 
-/// Shared v1..v4 envelope checks; returns the parsed report on success.
+/// Shared v1..v5 envelope checks; returns the parsed report on success.
 std::optional<JsonValue> check_envelope(const std::string& path) {
   auto root = load(path);
   if (!root) {
@@ -46,8 +52,8 @@ std::optional<JsonValue> check_envelope(const std::string& path) {
     return std::nullopt;
   }
   const auto* version = root->find_path("schema_version");
-  if (version == nullptr || version->as_int() != 4) {
-    fail(path + ": schema_version must be 4");
+  if (version == nullptr || version->as_int() != 5) {
+    fail(path + ": schema_version must be 5");
     return std::nullopt;
   }
   for (const char* field : {"bench", "seed", "config", "metrics", "tables"}) {
@@ -74,7 +80,50 @@ std::optional<JsonValue> check_envelope(const std::string& path) {
       return std::nullopt;
     }
   }
+  // v5: the scenarios array is always present (empty when the bench runs
+  // no production-traffic scenarios).
+  const auto* scenarios = root->find_path("scenarios");
+  if (scenarios == nullptr || !scenarios->is_array()) {
+    fail(path + ": missing v5 'scenarios' array");
+    return std::nullopt;
+  }
   return root;
+}
+
+int check_scenarios(const std::string& path) {
+  const auto root = check_envelope(path);
+  if (!root) return 1;
+  const auto* scenarios = root->find_path("scenarios");
+  if (scenarios->items().empty()) {
+    return fail(path + ": scenario suite must embed at least one scenario");
+  }
+  for (const JsonValue& sc : scenarios->items()) {
+    const auto* name = sc.find("scenario");
+    if (name == nullptr || !name->is_string() || name->as_string().empty()) {
+      return fail(path + ": scenario entry without a name");
+    }
+    for (const char* field :
+         {"seed", "ops", "stores", "lookups_issued", "lookups_succeeded",
+          "availability", "mean_latency_ms", "max_peer_load", "load_skew",
+          "must_failed", "wave_must_issued", "wave_must_failed",
+          "value_mismatches", "audit_violations", "ring_ok", "trees_ok"}) {
+      if (sc.find(field) == nullptr) {
+        return fail(path + ": scenario '" + name->as_string() +
+                    "' missing field '" + field + "'");
+      }
+    }
+    const auto* violations = sc.find("violations");
+    if (violations == nullptr || !violations->is_array()) {
+      return fail(path + ": scenario '" + name->as_string() +
+                  "' missing violations array");
+    }
+    if (!violations->items().empty()) {
+      return fail(path + ": scenario '" + name->as_string() + "' has " +
+                  std::to_string(violations->items().size()) +
+                  " oracle/audit violations");
+    }
+  }
+  return 0;
 }
 
 int check_bench(const std::string& path) {
@@ -266,10 +315,17 @@ int main(int argc, char** argv) {
     std::printf("bench_schema_check: %s and %s OK\n", argv[2], argv[3]);
     return 0;
   }
+  if (argc == 3 && std::string{argv[1]} == "--scenarios") {
+    if (const int rc = check_scenarios(argv[2]); rc != 0) return rc;
+    std::printf("bench_schema_check: %s OK\n", argv[2]);
+    return 0;
+  }
   if (argc != 3) {
     return fail("usage: bench_schema_check <BENCH_*.json> <TRACE_*.json>\n"
                 "       bench_schema_check --profile <BENCH_*.json> "
-                "<PROFILE_*.collapsed>");
+                "<PROFILE_*.collapsed>\n"
+                "       bench_schema_check --scenarios "
+                "<BENCH_scenarios.json>");
   }
   if (const int rc = check_bench(argv[1]); rc != 0) return rc;
   if (const int rc = check_catapult(argv[2]); rc != 0) return rc;

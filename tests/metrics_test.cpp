@@ -203,7 +203,7 @@ TEST(Reporter, JsonMatchesSchema) {
   ASSERT_TRUE(root.is_object());
   EXPECT_EQ(root.find_path("schema_version")->as_int(),
             bench::Reporter::kSchemaVersion);
-  EXPECT_EQ(bench::Reporter::kSchemaVersion, 4);
+  EXPECT_EQ(bench::Reporter::kSchemaVersion, 5);
   EXPECT_EQ(root.find_path("bench")->as_string(), "selftest");
 
   // v4: run provenance is always present.
@@ -232,6 +232,13 @@ TEST(Reporter, JsonMatchesSchema) {
   ASSERT_NE(timeseries, nullptr);
   ASSERT_TRUE(timeseries->is_array());
   EXPECT_TRUE(timeseries->items().empty());
+
+  // v5: the scenarios array is always present, empty when no scenario runs
+  // were attached.
+  const JsonValue* scenarios = root.find_path("scenarios");
+  ASSERT_NE(scenarios, nullptr);
+  ASSERT_TRUE(scenarios->is_array());
+  EXPECT_TRUE(scenarios->items().empty());
 }
 
 TEST(Reporter, TimeseriesBlockEmbedsInReport) {

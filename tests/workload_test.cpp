@@ -1,8 +1,10 @@
 // Tests for workload generation.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
 
+#include "workload/scenario.hpp"
 #include "workload/workload.hpp"
 
 namespace hp2p::workload {
@@ -114,6 +116,118 @@ TEST(Workload, ZeroRatesYieldNoEvents) {
   Rng rng{13};
   EXPECT_TRUE(
       churn_schedule(rng, sim::SimTime::seconds(10), 0, 0, 0).empty());
+}
+
+// --- Scenario op streams ------------------------------------------------------
+
+TEST(Scenario, SameSeedStreamsByteIdentical) {
+  const std::vector<std::shared_ptr<const Workload>> workloads = {
+      std::make_shared<DiurnalWorkload>(),
+      std::make_shared<HotKeyStormWorkload>(),
+      std::make_shared<FlashCrowdWorkload>(),
+      std::make_shared<SwarmWorkload>(),
+  };
+  for (const auto& w : workloads) {
+    const std::string a = dump_stream(w->generate(17));
+    const std::string b = dump_stream(w->generate(17));
+    EXPECT_EQ(a, b) << w->name() << " is not deterministic in its seed";
+    EXPECT_FALSE(a.empty()) << w->name();
+    EXPECT_NE(a, dump_stream(w->generate(18)))
+        << w->name() << " ignores its seed";
+  }
+}
+
+TEST(Scenario, StreamsAreTimeSorted) {
+  for (const std::shared_ptr<const Workload>& w :
+       {std::shared_ptr<const Workload>{std::make_shared<DiurnalWorkload>()},
+        std::shared_ptr<const Workload>{std::make_shared<SwarmWorkload>()}}) {
+    const auto ops = w->generate(5);
+    for (std::size_t i = 1; i < ops.size(); ++i) {
+      EXPECT_LE(ops[i - 1].at, ops[i].at) << w->name() << " op " << i;
+    }
+  }
+}
+
+/// Fixed-stream workload: every op at the same instant, marked by `item`.
+class MarkerWorkload final : public Workload {
+ public:
+  MarkerWorkload(std::string name, std::uint32_t marker, std::uint32_t count)
+      : name_(std::move(name)), marker_(marker), count_(count) {}
+  [[nodiscard]] const char* name() const override { return name_.c_str(); }
+  [[nodiscard]] std::uint32_t num_items() const override { return 8; }
+  [[nodiscard]] std::vector<Op> generate(std::uint64_t) const override {
+    std::vector<Op> ops;
+    for (std::uint32_t i = 0; i < count_; ++i) {
+      ops.push_back(Op{Op::Kind::kLookup, Op::Origin::kAny,
+                       sim::SimTime::seconds(1), marker_, i});
+    }
+    return ops;
+  }
+
+ private:
+  std::string name_;
+  std::uint32_t marker_;
+  std::uint32_t count_;
+};
+
+TEST(Scenario, CompositionIsOrderStable) {
+  // All ops tie on time, so a stable merge must keep every op of the first
+  // child ahead of the second's, in original relative order.
+  const auto a = std::make_shared<MarkerWorkload>("a", 100, 3);
+  const auto b = std::make_shared<MarkerWorkload>("b", 200, 3);
+  const auto ab = compose(a, b)->generate(1);
+  ASSERT_EQ(ab.size(), 6u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(ab[i].item, 100u) << i;
+    EXPECT_EQ(ab[i].pick, i);
+    EXPECT_EQ(ab[i + 3].item, 200u) << i;
+    EXPECT_EQ(ab[i + 3].pick, i);
+  }
+  const auto ba = compose(b, a)->generate(1);
+  ASSERT_EQ(ba.size(), 6u);
+  EXPECT_EQ(ba[0].item, 200u);
+  EXPECT_EQ(ba[3].item, 100u);
+}
+
+TEST(Scenario, CompositionOfRealScenariosIsDeterministic) {
+  const auto w = compose(std::make_shared<DiurnalWorkload>(),
+                         std::make_shared<HotKeyStormWorkload>());
+  const auto once = dump_stream(w->generate(9));
+  EXPECT_EQ(once, dump_stream(w->generate(9)));
+  const auto ops = w->generate(9);
+  for (std::size_t i = 1; i < ops.size(); ++i) {
+    EXPECT_LE(ops[i - 1].at, ops[i].at);
+  }
+  // The composite inherits the widest child's catalogue.
+  EXPECT_EQ(w->num_items(),
+            std::max(DiurnalWorkload{}.num_items(),
+                     HotKeyStormWorkload{}.num_items()));
+}
+
+TEST(Scenario, CurveTimesMonotonicAndSized) {
+  Rng rng{21};
+  const RateCurve curve{{RatePhase{sim::SimTime::seconds(10), 2.0},
+                         RatePhase{sim::SimTime::seconds(5), 8.0}}};
+  const auto times = curve_times(curve, sim::SimTime{}, rng);
+  EXPECT_EQ(times.size(), 60u);  // 10s*2/s + 5s*8/s
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    EXPECT_LE(times[i - 1], times[i]) << i;
+  }
+  EXPECT_LT(times.back(), sim::SimTime::seconds(15));
+}
+
+TEST(Scenario, SwarmCorpusCarriesPieceHashes) {
+  const SwarmWorkload w;
+  const auto corpus = w.corpus(33);
+  ASSERT_EQ(corpus.size(), w.num_items());
+  for (std::uint32_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_EQ(corpus[i].value, SwarmWorkload::piece_hash(33, i)) << i;
+    EXPECT_EQ(corpus[i].id, hash_key(corpus[i].key)) << i;
+  }
+  // Payloads differ piece to piece and hash to the advertised digest.
+  EXPECT_NE(SwarmWorkload::piece_payload(33, 0),
+            SwarmWorkload::piece_payload(33, 1));
+  EXPECT_NE(SwarmWorkload::piece_hash(33, 0), SwarmWorkload::piece_hash(34, 0));
 }
 
 }  // namespace
